@@ -1,0 +1,51 @@
+"""Shared state for the benchmark harness.
+
+The full ISCAS89+Plasma suite takes tens of minutes in pure Python;
+set ``REPRO_SUITE=full`` to run it.  The default is the paper's four
+small circuits plus two mid-size ones, which reproduces every trend in
+a few minutes.  Rendered tables are written to ``benchmarks/results/``
+so EXPERIMENTS.md can reference them.
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.harness import ExperimentSuite
+from repro.circuits import suite_names
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+DEFAULT_CIRCUITS = ["s1196", "s1238", "s1423", "s1488", "s5378", "s9234"]
+
+
+def selected_circuits():
+    choice = os.environ.get("REPRO_SUITE", "small")
+    if choice == "full":
+        return suite_names()
+    if choice == "small":
+        return list(DEFAULT_CIRCUITS)
+    return [name.strip() for name in choice.split(",") if name.strip()]
+
+
+@pytest.fixture(scope="session")
+def suite():
+    return ExperimentSuite(
+        circuits=selected_circuits(),
+        error_rate_cycles=int(os.environ.get("REPRO_SIM_CYCLES", "160")),
+    )
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def save_table(results_dir, table):
+    stem = table.table_id.replace(" ", "_").lower()
+    path = results_dir / f"{stem}.txt"
+    path.write_text(table.render() + "\n")
+    (results_dir / f"{stem}.csv").write_text(table.to_csv())
+    return path

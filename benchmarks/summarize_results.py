@@ -1,0 +1,37 @@
+#!/usr/bin/env python3
+"""Summarize benchmarks/results into the EXPERIMENTS.md headline rows.
+
+Run after a harness pass; prints the measured averages the
+paper-vs-measured table records.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+RESULTS = Path(__file__).parent / "results"
+
+
+def notes(stem):
+    path = RESULTS / f"{stem}.txt"
+    if not path.exists():
+        return []
+    return [
+        line.split("note:", 1)[1].strip()
+        for line in path.read_text().splitlines()
+        if "note:" in line
+    ]
+
+
+def main() -> int:
+    for stem in sorted(p.stem for p in RESULTS.glob("*.txt")):
+        lines = notes(stem)
+        if lines:
+            print(f"[{stem}]")
+            for line in lines:
+                print(f"  {line}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,42 @@
+"""Section VI-D's closing observation: area buys error-rate.
+
+"These results also suggest that with a modest area increase of, on
+average 5%, error-rates can be further reduced, sometimes to 0."
+"""
+
+from conftest import save_table
+
+from repro.flows.tradeoff import error_rate_tradeoff
+from repro.harness.tables import TableResult
+
+
+def test_error_rate_vs_area_tradeoff(suite, results_dir, benchmark):
+    name = "s1423" if "s1423" in suite.circuit_names else suite.circuit_names[0]
+
+    def run():
+        return error_rate_tradeoff(
+            suite.netlist(name),
+            suite.library,
+            overhead=0.5,
+            budget_scales=(0.0, 0.5, 1.0, 2.0),
+            scheme=suite.scheme(name),
+            cycles=96,
+        )
+
+    points = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = TableResult(
+        "VI-D tradeoff",
+        f"rescue budget vs error rate ({name}, c=0.5)",
+        ["budget_scale", "total_area", "comb_area", "EDL#", "error%"],
+    )
+    for point in points:
+        table.add_row(*point.row())
+    print()
+    print(table.render())
+    save_table(results_dir, table)
+
+    # More budget never increases the EDL count, and the largest
+    # budget's error rate is no worse than the zero-budget one.
+    edl_counts = [p.n_edl for p in points]
+    assert edl_counts == sorted(edl_counts, reverse=True)
+    assert points[-1].error_rate <= points[0].error_rate + 1e-9

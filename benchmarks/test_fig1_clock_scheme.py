@@ -1,0 +1,49 @@
+"""Fig. 1: the two-phase resilient clocking scheme."""
+
+from repro.clocks import scheme_from_period
+from repro.harness.tables import TableResult
+from conftest import save_table
+
+
+def test_fig1_timing_relations(suite, results_dir, benchmark):
+    """Reproduce the figure's timing identities for every circuit's
+    derived clock and render the waveform samples."""
+
+    def build():
+        table = TableResult(
+            "Fig 1",
+            "two-phase resilient clocking (derived per circuit)",
+            ["circuit", "phi1", "gamma1", "phi2", "gamma2",
+             "Pi", "window_close", "P"],
+        )
+        for name in suite.circuit_names:
+            scheme = suite.scheme(name)
+            table.add_row(
+                name,
+                round(scheme.phi1, 4),
+                round(scheme.gamma1, 4),
+                round(scheme.phi2, 4),
+                round(scheme.gamma2, 4),
+                round(scheme.period, 4),
+                round(scheme.window_close, 4),
+                round(scheme.max_path_delay, 4),
+            )
+        return table
+
+    table = benchmark.pedantic(build, rounds=1, iterations=1)
+    print()
+    print(table.render())
+    save_table(results_dir, table)
+
+    for name in suite.circuit_names:
+        scheme = suite.scheme(name)
+        # Fig. 1: P = Pi + phi1 and the window closes at P.
+        assert abs(scheme.period + scheme.phi1 - scheme.max_path_delay) < 1e-9
+        assert abs(scheme.window_close - scheme.max_path_delay) < 1e-9
+
+    # The waveforms must show non-overlapping phases.
+    scheme = suite.scheme(suite.circuit_names[0])
+    waves = scheme.waveforms(cycles=2, resolution=64)
+    assert not any(
+        a and b for a, b in zip(waves["clk1"], waves["clk2"])
+    )

@@ -1,0 +1,58 @@
+"""Fig. 2: behavioural equivalence of the two error-detecting latches."""
+
+import random
+
+from repro.cells.edl import (
+    ShadowFlipFlopLatch,
+    TransitionDetectingLatch,
+    window_has_transition,
+)
+from repro.harness.tables import TableResult
+from conftest import save_table
+
+
+def test_fig2_edl_designs_agree(results_dir, benchmark):
+    """Drive both Fig. 2 latches with the same random stimuli and
+    check they flag identical cycles."""
+    rng = random.Random(42)
+    window = (0.7, 1.0)
+    shadow = ShadowFlipFlopLatch()
+    tdtb = TransitionDetectingLatch()
+
+    def run():
+        agree = 0
+        errors = 0
+        cycles = 2000
+        for _ in range(cycles):
+            events = sorted(
+                (round(rng.uniform(0, 1.2), 4), rng.randint(0, 1))
+                for _ in range(rng.randint(0, 5))
+            )
+            initial = rng.randint(0, 1)
+            a = shadow.evaluate(events, *window, initial)
+            b = tdtb.evaluate(events, *window, initial)
+            times = []
+            value = initial
+            for when, new in events:
+                if new != value:
+                    times.append(when)
+                    value = new
+            predicted = window_has_transition(times, *window)
+            assert a.error == b.error == predicted
+            assert a.captured == b.captured
+            agree += 1
+            errors += int(a.error)
+        return agree, errors, cycles
+
+    agree, errors, cycles = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = TableResult(
+        "Fig 2",
+        "EDL designs: shadow-MSFF vs TDTB over random stimuli",
+        ["cycles", "agreements", "error_cycles"],
+    )
+    table.add_row(cycles, agree, errors)
+    print()
+    print(table.render())
+    save_table(results_dir, table)
+    assert agree == cycles
+    assert 0 < errors < cycles  # stimuli exercise both outcomes

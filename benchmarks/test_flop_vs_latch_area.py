@@ -1,0 +1,73 @@
+"""Section VI-D: latch-based resilient vs flop-based resilient area."""
+
+from conftest import save_table
+
+from repro.analysis.compare import average
+
+
+def test_flop_vs_latch_resilient(suite, results_dir, benchmark):
+    table = benchmark.pedantic(
+        suite.flop_comparison, rounds=1, iterations=1
+    )
+    print()
+    print(table.render())
+    save_table(results_dir, table)
+
+    # Paper: the latch-based design is on average 12.4 / 18.2 / 28.2 %
+    # smaller than the flop-based resilient estimate, and roughly area-
+    # neutral against the original (non-resilient) flop design thanks
+    # to the 43% latch/flop area ratio.
+    previous = -100.0
+    for level in ("low", "medium", "high"):
+        saving = average(table.column(f"{level}:saving%"))
+        assert saving > 0, f"{level}: latch design should be smaller"
+        assert saving >= previous - 0.5, "saving grows with overhead"
+        previous = saving
+
+
+def test_clock_tree_caveat(suite, results_dir, benchmark):
+    """Section VI-D's caveat, quantified: the two-phase design needs
+    two clock trees; even with their buffer cost charged, the latch
+    design's advantage over the flop-resilient estimate survives."""
+    from repro.analysis import compare_clock_trees, improvement
+    from repro.harness.tables import TableResult
+    from repro.latches.conversion import (
+        flop_resilient_area,
+        original_flop_report,
+    )
+
+    def build():
+        table = TableResult(
+            "VI-D trees",
+            "clock-tree-adjusted latch vs flop-resilient (c = 1)",
+            ["circuit", "tree_overhead", "flop_res", "latch_res_adj",
+             "saving%"],
+        )
+        for name in suite.circuit_names:
+            outcome = suite.outcome(name, "grar", 1.0)
+            netlist = suite.netlist(name)
+            report = original_flop_report(
+                netlist, suite.scheme(name), suite.library
+            )
+            trees = compare_clock_trees(
+                outcome, n_flops=report.n_flops, library=suite.library
+            )
+            flop_res = flop_resilient_area(report, suite.library, 1.0)
+            adjusted = outcome.total_area + trees.overhead
+            table.add_row(
+                name,
+                round(trees.overhead, 1),
+                round(flop_res, 1),
+                round(adjusted, 1),
+                round(improvement(flop_res, adjusted), 2),
+            )
+        return table
+
+    table = benchmark.pedantic(build, rounds=1, iterations=1)
+    print()
+    print(table.render())
+    save_table(results_dir, table)
+    from repro.analysis.compare import average
+
+    # The advantage shrinks but must not flip sign on average.
+    assert average(table.column("saving%")) > 0

@@ -1,0 +1,50 @@
+"""Ablation: G-RAR's advantage as a function of the EDL overhead c.
+
+The paper evaluates three points (c = 0.5 / 1 / 2, "representing the
+fact that the amortized area of different proposed EDL schemes can
+range from 50% to 2X larger than a normal latch"); this sweep fills
+the continuum in between, anchored by published schemes' overheads.
+"""
+
+from conftest import save_table
+
+from repro.analysis.compare import average, improvement
+from repro.cells.edl import EDL_SCHEME_OVERHEADS
+from repro.harness.tables import TableResult
+
+SWEEP = (0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 3.0)
+
+
+def test_overhead_continuum(suite, results_dir, benchmark):
+    circuits = suite.circuit_names[:3]
+
+    def build():
+        table = TableResult(
+            "Sweep c",
+            "G-RAR total-area improvement over base vs EDL overhead",
+            ["c"] + circuits + ["average"],
+        )
+        for c in SWEEP:
+            row = [c]
+            gains = []
+            for name in circuits:
+                base = suite.outcome(name, "base", c).total_area
+                grar = suite.outcome(name, "grar", c).total_area
+                gains.append(improvement(base, grar))
+            row.extend(round(g, 2) for g in gains)
+            row.append(round(average(gains), 2))
+            table.add_row(*row)
+        return table
+
+    table = benchmark.pedantic(build, rounds=1, iterations=1)
+    for scheme, c in sorted(EDL_SCHEME_OVERHEADS.items(), key=lambda kv: kv[1]):
+        table.add_note(f"anchor: {scheme} has c = {c}")
+    print()
+    print(table.render())
+    save_table(results_dir, table)
+
+    averages = table.column("average")
+    # The advantage must grow (weakly) from the lowest overhead to the
+    # highest: the more an EDL costs, the more avoiding it is worth.
+    assert averages[-1] >= averages[0] - 0.5
+    assert max(averages) == averages[-1] or max(averages) >= averages[0]

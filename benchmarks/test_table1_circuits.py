@@ -1,0 +1,24 @@
+"""Table I: circuit information of the original flop-based designs."""
+
+from conftest import save_table
+
+from repro.harness.paper import PAPER_TABLE1
+
+
+def test_table1_circuit_info(suite, results_dir, benchmark):
+    table = benchmark.pedantic(
+        suite.table1, rounds=1, iterations=1
+    )
+    print()
+    print(table.render())
+    save_table(results_dir, table)
+
+    # Shape check: flop counts match the paper exactly; near-critical
+    # endpoint counts track the paper's within a loose band (they are
+    # what the generator calibrates).
+    for row in table.rows:
+        name = row[0]
+        flops, nce = row[2], row[3]
+        paper_p, paper_flops, paper_nce, _ = PAPER_TABLE1[name]
+        assert flops == paper_flops
+        assert abs(nce - paper_nce) <= max(6, 0.5 * paper_nce)

@@ -1,0 +1,29 @@
+"""Table III: area comparison of the virtual-library variants."""
+
+from conftest import save_table
+
+from repro.analysis.compare import average
+
+
+def test_table3_vl_variants(suite, results_dir, benchmark):
+    table = benchmark.pedantic(suite.table3, rounds=1, iterations=1)
+    print()
+    print(table.render())
+    save_table(results_dir, table)
+
+    # Paper: RVL matches or beats EVL at every overhead on average,
+    # with EVL degrading as c grows (its unnecessary error-detecting
+    # latches survive the swap step because nothing kept their
+    # arrivals out of the window).
+    evl_averages = []
+    rvl_averages = []
+    for level in ("low", "medium", "high"):
+        evl = average(table.column(f"{level}:EVL"))
+        rvl = average(table.column(f"{level}:RVL"))
+        evl_averages.append(evl)
+        rvl_averages.append(rvl)
+        assert rvl <= evl * 1.02, f"{level}: RVL {rvl:.1f} vs EVL {evl:.1f}"
+    # EVL's penalty grows with the overhead.
+    assert evl_averages[-1] - rvl_averages[-1] >= (
+        evl_averages[0] - rvl_averages[0]
+    ) - 1e-6

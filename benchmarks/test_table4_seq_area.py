@@ -1,0 +1,23 @@
+"""Table IV: sequential logic area — base vs RVL-RAR vs G-RAR."""
+
+from conftest import save_table
+
+from repro.analysis.compare import average
+
+
+def test_table4_sequential_area(suite, results_dir, benchmark):
+    table = benchmark.pedantic(suite.table4, rounds=1, iterations=1)
+    print()
+    print(table.render())
+    save_table(results_dir, table)
+
+    # Paper: G-RAR saves 20.4 / 23.9 / 29.6 % sequential area over the
+    # base retiming, growing with the overhead; RVL sits between.
+    previous = -100.0
+    for level in ("low", "medium", "high"):
+        grar = average(table.column(f"{level}:grar%"))
+        rvl = average(table.column(f"{level}:rvl%"))
+        assert grar > 0, f"{level}: G-RAR should save sequential area"
+        assert grar >= rvl - 1.0, f"{level}: G-RAR must not trail RVL"
+        assert grar >= previous - 1.0, "savings should grow with c"
+        previous = grar

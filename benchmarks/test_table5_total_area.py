@@ -1,0 +1,27 @@
+"""Table V: total area — base vs RVL-RAR vs G-RAR (the headline)."""
+
+from conftest import save_table
+
+from repro.analysis.compare import average
+
+
+def test_table5_total_area(suite, results_dir, benchmark):
+    table = benchmark.pedantic(suite.table5, rounds=1, iterations=1)
+    print()
+    print(table.render())
+    save_table(results_dir, table)
+
+    # Paper headline: G-RAR beats base by 7.0 / 9.5 / 14.7 % total
+    # area on average, growing with c, and beats the best VL variant
+    # by ~5 %.  Shape checks:
+    previous = -100.0
+    for level in ("low", "medium", "high"):
+        grar = average(table.column(f"{level}:grar%"))
+        rvl = average(table.column(f"{level}:rvl%"))
+        assert grar > 0, f"{level}: G-RAR must save total area on average"
+        assert grar >= rvl, f"{level}: G-RAR must beat RVL on average"
+        assert grar >= previous - 0.5, "G-RAR savings grow with c"
+        previous = grar
+    high = average(table.column("high:grar%"))
+    low = average(table.column("low:grar%"))
+    assert high > low, "high overhead must benefit most from G-RAR"

@@ -1,0 +1,37 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's evaluation tables.
+
+Runs the experiment harness over a chosen circuit set and prints every
+table (I-IX plus the Section VI-D comparison) in the paper's layout.
+
+Run:  python examples/full_suite.py [circuit ...]
+      python examples/full_suite.py --full        # all 12 circuits
+"""
+
+import sys
+import time
+
+from repro.circuits import suite_names
+from repro.harness import ExperimentSuite
+
+
+def main() -> None:
+    args = sys.argv[1:]
+    if "--full" in args:
+        circuits = suite_names()
+    elif args:
+        circuits = args
+    else:
+        circuits = ["s1196", "s1238", "s1423", "s1488"]
+
+    print(f"running the experiment suite on: {', '.join(circuits)}")
+    suite = ExperimentSuite(circuits=circuits, error_rate_cycles=160)
+    started = time.perf_counter()
+    for table in suite.all_tables():
+        print()
+        print(table.render())
+    print(f"\ntotal wall time: {time.perf_counter() - started:.1f}s")
+
+
+if __name__ == "__main__":
+    main()

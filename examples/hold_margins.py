@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Quantify the paper's hold-margin claim (Section II-A).
+
+"Latch-based resilient circuits have higher hold margins": an
+error-detecting master samples until ``phi1`` past its capture edge,
+so next-cycle data racing through a short path can corrupt the window.
+
+* In a *flop-based* resilient design the racing data launches at the
+  capture edge itself: every path shorter than ``phi1`` (+hold) is a
+  violation that needs buffer padding.
+* In the *two-phase latch-based* design the slave latch gates the
+  launch until ``phi1 + gamma1`` — at the recipe's ``gamma1 = 0`` the
+  race can never win: the margin is the entire slave-to-master path.
+
+Run:  python examples/hold_margins.py [circuit]
+"""
+
+import sys
+
+from repro.cells import default_library
+from repro.circuits import build_benchmark
+from repro.flows import prepare_circuit
+from repro.sta.min_delay import MinDelayAnalysis
+from repro.synth.hold_fix import fix_hold
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "s1196"
+    library = default_library()
+    netlist = build_benchmark(name, library)
+    scheme, _ = prepare_circuit(netlist, library)
+    hold = library.default_latch().timing.hold
+    bound = scheme.resiliency_window + hold
+
+    analysis = MinDelayAnalysis(netlist, library)
+    violations = analysis.hold_violations(bound)
+    shortest = min(
+        analysis.min_endpoint_arrival(g.name)
+        for g in netlist.endpoints()
+    )
+    print(f"{name}: resiliency window = {scheme.resiliency_window:.4f}, "
+          f"hold bound = {bound:.4f}")
+    print(f"flop-based resilient design:")
+    print(f"  shortest master-to-master path: {shortest:.4f}")
+    print(f"  endpoints violating the window hold: "
+          f"{len(violations)} of {len(netlist.endpoints())}")
+
+    padded = netlist.copy()
+    report = fix_hold(padded, library, bound)
+    print(f"  buffers inserted to fix: {report.n_buffers} "
+          f"(+{report.area_delta:.1f} area)")
+
+    # Latch-based design: data launches from the slave's opening edge.
+    launch = scheme.slave_open
+    margin = launch + shortest - bound
+    print(f"two-phase latch-based design:")
+    print(f"  earliest launch (slave opening): {launch:.4f}")
+    print(f"  hold margin: {margin:+.4f} "
+          f"(>= 0 for any placement: the slave gates the race)")
+    print("\nconclusion: the latch-based conversion buys the hold "
+          "margin structurally,")
+    print("where the flop-based design pays "
+          f"{report.n_buffers} hold buffers.")
+
+
+if __name__ == "__main__":
+    main()

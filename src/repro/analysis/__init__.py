@@ -1,0 +1,26 @@
+"""Result analysis: comparisons, improvements, and area breakdowns."""
+
+from repro.analysis.compare import (
+    Improvement,
+    improvement,
+    summarize_outcomes,
+)
+from repro.analysis.area import AreaBreakdown, area_breakdown
+from repro.analysis.clocktree import (
+    ClockTreeComparison,
+    ClockTreeEstimate,
+    compare_clock_trees,
+    estimate_tree,
+)
+
+__all__ = [
+    "Improvement",
+    "improvement",
+    "summarize_outcomes",
+    "AreaBreakdown",
+    "area_breakdown",
+    "ClockTreeComparison",
+    "ClockTreeEstimate",
+    "compare_clock_trees",
+    "estimate_tree",
+]

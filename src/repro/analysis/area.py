@@ -1,0 +1,50 @@
+"""Area accounting breakdowns."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.flows.run import FlowOutcome
+
+
+@dataclass(frozen=True)
+class AreaBreakdown:
+    """Where a flow outcome's area lives."""
+
+    comb: float
+    slaves: float
+    masters: float
+    edl_overhead: float
+
+    @property
+    def sequential(self) -> float:
+        """Total sequential area (slaves + masters + EDL overhead)."""
+        return self.slaves + self.masters + self.edl_overhead
+
+    @property
+    def total(self) -> float:
+        """Combinational plus sequential area."""
+        return self.comb + self.sequential
+
+    def row(self) -> dict:
+        """The breakdown as a plain dict (for tables)."""
+        return {
+            "comb": self.comb,
+            "slaves": self.slaves,
+            "masters": self.masters,
+            "edl_overhead": self.edl_overhead,
+            "sequential": self.sequential,
+            "total": self.total,
+        }
+
+
+def area_breakdown(outcome: FlowOutcome) -> AreaBreakdown:
+    """Split an outcome's area into comb / slaves / masters / EDL."""
+    cost = outcome.cost
+    latch = cost.latch_area
+    return AreaBreakdown(
+        comb=outcome.comb_area,
+        slaves=cost.n_slaves * latch,
+        masters=cost.n_masters * latch,
+        edl_overhead=cost.n_edl * cost.overhead * latch,
+    )

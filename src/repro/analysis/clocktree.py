@@ -1,0 +1,83 @@
+"""Clock-tree overhead estimation (the Section VI-D caveat).
+
+The paper qualifies its area-parity result: "this analysis does not
+consider the fact that our two-phase latch-based design requires the
+generation of two clock trees instead of one, which could introduce
+additional overhead during physical design."  This estimator makes the
+caveat quantitative with a standard pre-CTS model: a balanced buffer
+tree of fanout ``K`` over the clock sinks, costing one buffer per ``K``
+sinks per level.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.cells.library import Library
+from repro.flows.run import FlowOutcome
+
+
+@dataclass(frozen=True)
+class ClockTreeEstimate:
+    """Buffer count and area of one balanced clock tree."""
+
+    sinks: int
+    buffers: int
+    area: float
+
+
+def estimate_tree(
+    sinks: int, library: Library, fanout: int = 12
+) -> ClockTreeEstimate:
+    """Balanced-tree estimate: ``ceil(n/K)`` buffers per level."""
+    if sinks < 0:
+        raise ValueError("sinks must be non-negative")
+    if fanout < 2:
+        raise ValueError("fanout must be at least 2")
+    buffer_area = library.pick_comb("BUF", 1, drive=4).area
+    buffers = 0
+    level = sinks
+    while level > 1:
+        level = math.ceil(level / fanout)
+        buffers += level
+    return ClockTreeEstimate(
+        sinks=sinks, buffers=buffers, area=buffers * buffer_area
+    )
+
+
+@dataclass(frozen=True)
+class ClockTreeComparison:
+    """One-tree flop design vs two-tree latch design."""
+
+    flop_tree: ClockTreeEstimate
+    master_tree: ClockTreeEstimate
+    slave_tree: ClockTreeEstimate
+
+    @property
+    def latch_design_area(self) -> float:
+        """Total clock-buffer area of the two-phase design."""
+        return self.master_tree.area + self.slave_tree.area
+
+    @property
+    def overhead(self) -> float:
+        """Extra clock-tree area the two-phase conversion pays."""
+        return self.latch_design_area - self.flop_tree.area
+
+
+def compare_clock_trees(
+    outcome: FlowOutcome, n_flops: int, library: Library, fanout: int = 12
+) -> ClockTreeComparison:
+    """Clock-tree cost of a retimed two-phase design vs its flop
+    original.
+
+    The master tree drives one latch per endpoint, the slave tree one
+    latch per placed slave; the flop design drives ``n_flops`` flops.
+    """
+    return ClockTreeComparison(
+        flop_tree=estimate_tree(n_flops, library, fanout),
+        master_tree=estimate_tree(
+            outcome.cost.n_masters, library, fanout
+        ),
+        slave_tree=estimate_tree(outcome.n_slaves, library, fanout),
+    )

@@ -1,0 +1,50 @@
+"""Improvement arithmetic used by every results table."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping
+
+from repro.flows.run import FlowOutcome
+
+
+@dataclass(frozen=True)
+class Improvement:
+    """Relative improvement of ``candidate`` over ``reference``."""
+
+    reference: float
+    candidate: float
+
+    @property
+    def percent(self) -> float:
+        """Positive when the candidate is smaller (paper convention)."""
+        if self.reference == 0:
+            return 0.0
+        return 100.0 * (self.reference - self.candidate) / self.reference
+
+
+def improvement(reference: float, candidate: float) -> float:
+    """Percent improvement of ``candidate`` over ``reference``."""
+    return Improvement(reference, candidate).percent
+
+
+def summarize_outcomes(
+    outcomes: Mapping[str, FlowOutcome],
+    reference: str = "base",
+    metric: str = "total_area",
+) -> Dict[str, float]:
+    """Per-method improvement (%) against the reference method."""
+    if reference not in outcomes:
+        raise KeyError(f"reference method {reference!r} missing")
+    base_value = getattr(outcomes[reference], metric)
+    return {
+        method: improvement(base_value, getattr(outcome, metric))
+        for method, outcome in outcomes.items()
+        if method != reference
+    }
+
+
+def average(values: Iterable[float]) -> float:
+    """Arithmetic mean (0.0 for an empty sequence)."""
+    values = list(values)
+    return sum(values) / len(values) if values else 0.0

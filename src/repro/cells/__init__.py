@@ -1,0 +1,49 @@
+"""Synthetic standard-cell library substrate.
+
+Models the subset of a liberty file that the paper's flows consume:
+cell areas, pin capacitances, load/slew-dependent pin-to-pin delay
+arcs, sequential-cell timing (setup, CK->Q, D->Q), and the
+error-detecting latch variants of Fig. 2.  The :func:`default_library`
+builder produces a 28nm-flavoured library in which a latch is ~43% of
+a flip-flop's area, matching the ratio the paper reports for its
+commercial library.
+"""
+
+from repro.cells.timing import TimingArc, DelayModel
+from repro.cells.cell import (
+    Cell,
+    CombCell,
+    SequentialCell,
+    LatchCell,
+    FlipFlopCell,
+    FUNCTIONS,
+    evaluate_function,
+)
+from repro.cells.library import Library, LatchGroup
+from repro.cells.builder import default_library
+from repro.cells.virtual import build_virtual_library, VirtualLibrary
+from repro.cells.edl import (
+    ShadowFlipFlopLatch,
+    TransitionDetectingLatch,
+    EdlEvent,
+)
+
+__all__ = [
+    "TimingArc",
+    "DelayModel",
+    "Cell",
+    "CombCell",
+    "SequentialCell",
+    "LatchCell",
+    "FlipFlopCell",
+    "FUNCTIONS",
+    "evaluate_function",
+    "Library",
+    "LatchGroup",
+    "default_library",
+    "build_virtual_library",
+    "VirtualLibrary",
+    "ShadowFlipFlopLatch",
+    "TransitionDetectingLatch",
+    "EdlEvent",
+]

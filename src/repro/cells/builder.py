@@ -1,0 +1,186 @@
+"""Builder for the default synthetic 28nm-flavoured library.
+
+Calibration targets taken from the paper:
+
+* latch area = 43% of flip-flop area (Section VI-D);
+* latch D->Q delay differs from CK->Q by ~40% (Section III);
+* EDL overhead ``c`` is a parameter swept over {0.5, 1.0, 2.0}.
+
+Delay numbers give an FO4 inverter delay of ~42 ps so that the Table I
+clock periods (0.4–2.1 ns) correspond to realistic logic depths.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+from repro.cells.cell import CombCell, FlipFlopCell, LatchCell
+from repro.cells.library import LatchGroup, Library
+from repro.cells.timing import DelayModel, SequentialTiming, TimingArc
+
+#: (delay_factor, drive_factor, cap_factor, area_factor) per strength.
+DRIVE_STRENGTHS: Dict[int, Tuple[float, float, float, float]] = {
+    1: (1.00, 1.0, 1.0, 1.00),
+    2: (1.05, 2.0, 1.8, 1.35),
+    4: (1.12, 4.0, 3.2, 1.90),
+}
+
+#: name -> (function, n_inputs, area, intrinsic, resistance, input_cap)
+_COMB_SPECS: Dict[str, Tuple[str, int, float, float, float, float]] = {
+    "INV": ("INV", 1, 0.65, 0.010, 0.0080, 1.00),
+    "BUF": ("BUF", 1, 0.98, 0.022, 0.0072, 1.00),
+    "NAND2": ("NAND", 2, 0.98, 0.014, 0.0090, 1.20),
+    "NAND3": ("NAND", 3, 1.31, 0.019, 0.0102, 1.35),
+    "NOR2": ("NOR", 2, 0.98, 0.016, 0.0098, 1.25),
+    "NOR3": ("NOR", 3, 1.31, 0.024, 0.0118, 1.45),
+    "AND2": ("AND", 2, 1.31, 0.026, 0.0086, 1.10),
+    "OR2": ("OR", 2, 1.31, 0.028, 0.0092, 1.10),
+    "XOR2": ("XOR", 2, 1.96, 0.034, 0.0110, 1.60),
+    "XNOR2": ("XNOR", 2, 1.96, 0.035, 0.0112, 1.60),
+    "AOI21": ("AOI21", 3, 1.31, 0.020, 0.0104, 1.30),
+    "OAI21": ("OAI21", 3, 1.31, 0.021, 0.0106, 1.30),
+    "MUX2": ("MUX2", 3, 2.29, 0.038, 0.0096, 1.25),
+}
+
+_PIN_NAMES = ("A", "B", "C", "D", "E")
+
+#: Flip-flop area; latch area is 43% of this (paper Section VI-D).
+FF_AREA = 4.30
+LATCH_AREA_RATIO = 0.43
+
+
+#: Low-Vt flavour: faster transistors at a mild area (leakage) premium.
+LVT_DELAY_FACTOR = 0.70
+LVT_AREA_FACTOR = 1.12
+
+
+def _comb_cell(base: str, drive: int, vt: str = "svt") -> CombCell:
+    function, n_in, area, intrinsic, resistance, cap = _COMB_SPECS[base]
+    delay_factor, drive_factor, cap_factor, area_factor = DRIVE_STRENGTHS[drive]
+    if vt == "lvt":
+        delay_factor *= LVT_DELAY_FACTOR
+        drive_factor /= LVT_DELAY_FACTOR
+        area_factor *= LVT_AREA_FACTOR
+    pins = _PIN_NAMES[:n_in]
+    # Later pins of a stack are slightly slower, as in real libraries.
+    arcs = {}
+    caps = {}
+    unate = None if function in ("XOR", "XNOR", "MUX2") else function in (
+        "BUF",
+        "AND",
+        "OR",
+    )
+    for index, pin in enumerate(pins):
+        pin_penalty = 1.0 + 0.08 * index
+        rise = DelayModel(
+            intrinsic=intrinsic * pin_penalty,
+            resistance=resistance,
+            slew_impact=0.10,
+            slew_intrinsic=0.018,
+            slew_resistance=0.009,
+        ).scaled(delay_factor, drive_factor)
+        fall = DelayModel(
+            intrinsic=intrinsic * pin_penalty * 0.92,
+            resistance=resistance * 0.95,
+            slew_impact=0.10,
+            slew_intrinsic=0.016,
+            slew_resistance=0.008,
+        ).scaled(delay_factor, drive_factor)
+        arcs[pin] = TimingArc(input_pin=pin, rise=rise, fall=fall, unate=unate)
+        caps[pin] = cap * cap_factor
+    suffix = "_LVT" if vt == "lvt" else ""
+    return CombCell(
+        name=f"{base}{suffix}_X{drive}",
+        area=area * area_factor,
+        function=function,
+        inputs=pins,
+        arcs=arcs,
+        input_caps=caps,
+        drive=drive,
+        vt=vt,
+    )
+
+
+def _latch_cell(
+    name: str,
+    area: float,
+    error_detecting: bool = False,
+    overhead: float = 0.0,
+    setup: float = 0.020,
+) -> LatchCell:
+    # D->Q is ~40% faster than CK->Q (paper Section III notes they can
+    # differ by up to 40% in a modern library).
+    return LatchCell(
+        name=name,
+        area=area,
+        timing=SequentialTiming(
+            setup=setup, hold=0.010, clock_to_q=0.048, data_to_q=0.034
+        ),
+        input_cap=1.4,
+        error_detecting=error_detecting,
+        overhead=overhead,
+    )
+
+
+def default_library(
+    name: str = "repro28",
+    edl_overhead: float = 1.0,
+    drives: Sequence[int] = (1, 2, 4),
+) -> Library:
+    """Build the default library.
+
+    Parameters
+    ----------
+    edl_overhead:
+        The paper's ``c``: the error-detecting latch is created with
+        area ``(1 + c) * latch_area``.
+    drives:
+        Drive strengths to generate for each combinational function.
+    """
+    if edl_overhead < 0:
+        raise ValueError("edl_overhead must be non-negative")
+    lib = Library(name=name)
+    for base in _COMB_SPECS:
+        for drive in drives:
+            if drive not in DRIVE_STRENGTHS:
+                raise ValueError(f"unsupported drive strength X{drive}")
+            lib.add(_comb_cell(base, drive, vt="svt"))
+            lib.add(_comb_cell(base, drive, vt="lvt"))
+
+    latch_area = FF_AREA * LATCH_AREA_RATIO
+    lib.add(_latch_cell("LATCH_X1", latch_area), group=LatchGroup.NORMAL)
+    edl_latch = _latch_cell(
+        "LATCH_ED_X1",
+        latch_area * (1.0 + edl_overhead),
+        error_detecting=True,
+        overhead=edl_overhead,
+    )
+    # Same D-pin loading penalty as the error-detecting flop.
+    from dataclasses import replace as _replace
+
+    lib.add(_replace(edl_latch, input_cap=2.6), group=LatchGroup.NORMAL)
+    lib.add(
+        FlipFlopCell(
+            name="DFF_X1",
+            area=FF_AREA,
+            timing=SequentialTiming(
+                setup=0.028, hold=0.012, clock_to_q=0.062, data_to_q=0.062
+            ),
+            input_cap=1.6,
+        )
+    )
+    lib.add(
+        FlipFlopCell(
+            name="DFF_ED_X1",
+            area=FF_AREA * (1.0 + edl_overhead),
+            timing=SequentialTiming(
+                setup=0.028, hold=0.012, clock_to_q=0.062, data_to_q=0.062
+            ),
+            # The shadow sampler and transition detector hang off the
+            # D pin (Fig. 2), roughly doubling its capacitance.
+            input_cap=2.9,
+            error_detecting=True,
+            overhead=edl_overhead,
+        )
+    )
+    return lib

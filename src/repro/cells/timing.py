@@ -1,0 +1,118 @@
+"""Pin-to-pin delay arcs with a linear (NLDM-flavoured) delay model.
+
+Commercial tools interpolate non-linear delay tables; for the path
+shapes the paper's algorithms depend on, a first-order model
+
+    delay = intrinsic + resistance * load + slew_impact * input_slew
+    slew  = slew_intrinsic + slew_resistance * load
+
+captures the load- and slew-dependence that distinguishes the
+"path-based" delay model from the naive "gate-based" one (Table II),
+while staying fully deterministic and dependency-free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class DelayModel:
+    """Linear delay/slew model for one transition direction of an arc."""
+
+    intrinsic: float
+    resistance: float = 0.0
+    slew_impact: float = 0.0
+    slew_intrinsic: float = 0.0
+    slew_resistance: float = 0.0
+
+    def delay(self, load: float = 0.0, input_slew: float = 0.0) -> float:
+        """Propagation delay for a given output load and input slew."""
+        return (
+            self.intrinsic
+            + self.resistance * load
+            + self.slew_impact * input_slew
+        )
+
+    def output_slew(self, load: float = 0.0) -> float:
+        """Output transition time for a given load."""
+        return self.slew_intrinsic + self.slew_resistance * load
+
+    def scaled(self, delay_factor: float, drive_factor: float) -> "DelayModel":
+        """Derive a different drive strength of the same arc.
+
+        ``drive_factor`` > 1 means a stronger driver: resistance terms
+        shrink by that factor while intrinsic terms scale by
+        ``delay_factor`` (strong cells are marginally slower unloaded).
+        """
+        return DelayModel(
+            intrinsic=self.intrinsic * delay_factor,
+            resistance=self.resistance / drive_factor,
+            slew_impact=self.slew_impact,
+            slew_intrinsic=self.slew_intrinsic * delay_factor,
+            slew_resistance=self.slew_resistance / drive_factor,
+        )
+
+
+@dataclass(frozen=True)
+class TimingArc:
+    """A timing arc from an input pin to the output pin of a cell.
+
+    ``rise``/``fall`` describe the output-rising and output-falling
+    transitions.  ``positive_unate`` records whether an input rise
+    produces an output rise (True) or an output fall (False); XOR-like
+    arcs are non-unate and must set ``unate=None``.
+    """
+
+    input_pin: str
+    rise: DelayModel
+    fall: DelayModel
+    unate: bool | None = False  # default: inverting (negative unate)
+
+    def max_delay(self, load: float = 0.0, input_slew: float = 0.0) -> float:
+        """Worst of the rise/fall delays (what max-delay STA uses)."""
+        return max(
+            self.rise.delay(load, input_slew),
+            self.fall.delay(load, input_slew),
+        )
+
+    def min_delay(self, load: float = 0.0, input_slew: float = 0.0) -> float:
+        """Best of the rise/fall delays (used by hold-style checks)."""
+        return min(
+            self.rise.delay(load, input_slew),
+            self.fall.delay(load, input_slew),
+        )
+
+    def delay_for_output_edge(
+        self, rising_output: bool, load: float = 0.0, input_slew: float = 0.0
+    ) -> float:
+        """Delay of the arc producing a specific output edge."""
+        model = self.rise if rising_output else self.fall
+        return model.delay(load, input_slew)
+
+    def max_output_slew(self, load: float = 0.0) -> float:
+        """Worst output transition time at ``load``."""
+        return max(self.rise.output_slew(load), self.fall.output_slew(load))
+
+
+@dataclass(frozen=True)
+class SequentialTiming:
+    """Timing parameters of a latch or flip-flop."""
+
+    setup: float
+    hold: float
+    clock_to_q: float
+    data_to_q: float = field(default=0.0)
+
+    def __post_init__(self) -> None:
+        if self.setup < 0 or self.clock_to_q < 0:
+            raise ValueError("setup and clock_to_q must be non-negative")
+
+    def with_setup(self, setup: float) -> "SequentialTiming":
+        """Copy with the setup time replaced (virtual library)."""
+        return SequentialTiming(
+            setup=setup,
+            hold=self.hold,
+            clock_to_q=self.clock_to_q,
+            data_to_q=self.data_to_q,
+        )

@@ -1,0 +1,30 @@
+"""Benchmark circuits: the paper's worked example, structured datapath
+generators, the ISCAS89-profile synthetic suite, and a Plasma-like CPU.
+"""
+
+from repro.circuits.fig4 import (
+    FIG4_DELAYS,
+    fig4_circuit,
+    fig4_netlist,
+    fig4_scheme,
+)
+from repro.circuits.generator import CloudSpec, generate_circuit
+from repro.circuits.suite import (
+    BENCHMARK_PROFILES,
+    BenchmarkProfile,
+    build_benchmark,
+    suite_names,
+)
+
+__all__ = [
+    "FIG4_DELAYS",
+    "fig4_circuit",
+    "fig4_netlist",
+    "fig4_scheme",
+    "CloudSpec",
+    "generate_circuit",
+    "BENCHMARK_PROFILES",
+    "BenchmarkProfile",
+    "build_benchmark",
+    "suite_names",
+]

@@ -1,0 +1,199 @@
+"""Structured datapath generators: adders, muxes, decoders, ALUs.
+
+Random clouds get the statistics right; datapath blocks get the path
+*structure* right — long carry chains, wide reconvergent mux trees,
+one-hot decoders — which is what a CPU benchmark like Plasma stresses.
+All blocks are built through :class:`NetlistBuilder`, so they map onto
+library cells and compose into ordinary netlists.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.netlist.builder import NetlistBuilder
+
+
+def full_adder(
+    builder: NetlistBuilder, name: str, a: str, b: str, cin: str
+) -> Tuple[str, str]:
+    """One full adder; returns (sum, carry_out)."""
+    axb = builder.gate(f"{name}_axb", "XOR", [a, b])
+    total = builder.gate(f"{name}_s", "XOR", [axb, cin])
+    ab = builder.gate(f"{name}_ab", "AND", [a, b])
+    cx = builder.gate(f"{name}_cx", "AND", [axb, cin])
+    cout = builder.gate(f"{name}_co", "OR", [ab, cx])
+    return total, cout
+
+
+def ripple_adder(
+    builder: NetlistBuilder,
+    name: str,
+    a_bits: Sequence[str],
+    b_bits: Sequence[str],
+    cin: Optional[str] = None,
+) -> Tuple[List[str], str]:
+    """Ripple-carry adder; returns (sum_bits, carry_out).
+
+    The carry chain is the classic long path a CPU's critical timing
+    follows — exactly the structure the retiming regions must split.
+    """
+    if len(a_bits) != len(b_bits):
+        raise ValueError("adder operands must have equal width")
+    if not a_bits:
+        raise ValueError("adder needs at least one bit")
+    if cin is None:
+        # Constant-0 carry-in: a & !a.
+        na = builder.gate(f"{name}_nc", "INV", [a_bits[0]])
+        cin = builder.gate(f"{name}_c0", "AND", [a_bits[0], na])
+    carry = cin
+    sums: List[str] = []
+    for index, (a, b) in enumerate(zip(a_bits, b_bits)):
+        s, carry = full_adder(builder, f"{name}_fa{index}", a, b, carry)
+        sums.append(s)
+    return sums, carry
+
+
+def incrementer(
+    builder: NetlistBuilder, name: str, bits: Sequence[str]
+) -> List[str]:
+    """bits + 1 (a PC+4-style chain without the second operand)."""
+    out: List[str] = []
+    carry: Optional[str] = None
+    for index, bit in enumerate(bits):
+        if carry is None:
+            out.append(builder.gate(f"{name}_s{index}", "INV", [bit]))
+            carry = bit
+        else:
+            out.append(
+                builder.gate(f"{name}_s{index}", "XOR", [bit, carry])
+            )
+            carry = builder.gate(f"{name}_c{index}", "AND", [bit, carry])
+    return out
+
+
+def mux2_word(
+    builder: NetlistBuilder,
+    name: str,
+    a_bits: Sequence[str],
+    b_bits: Sequence[str],
+    select: str,
+) -> List[str]:
+    """Word-wide 2:1 mux (select ? b : a)."""
+    if len(a_bits) != len(b_bits):
+        raise ValueError("mux operands must have equal width")
+    return [
+        builder.gate(f"{name}_m{index}", "MUX2", [a, b, select])
+        for index, (a, b) in enumerate(zip(a_bits, b_bits))
+    ]
+
+
+def mux_tree(
+    builder: NetlistBuilder,
+    name: str,
+    words: Sequence[Sequence[str]],
+    selects: Sequence[str],
+) -> List[str]:
+    """N:1 word mux from a balanced tree of 2:1 muxes.
+
+    ``len(words)`` must be ``2 ** len(selects)``.
+    """
+    if len(words) != 2 ** len(selects):
+        raise ValueError(
+            f"need {2 ** len(selects)} words for {len(selects)} selects"
+        )
+    level = [list(word) for word in words]
+    for depth, select in enumerate(selects):
+        merged = []
+        for index in range(0, len(level), 2):
+            merged.append(
+                mux2_word(
+                    builder,
+                    f"{name}_d{depth}_{index // 2}",
+                    level[index],
+                    level[index + 1],
+                    select,
+                )
+            )
+        level = merged
+    return level[0]
+
+
+def decoder(
+    builder: NetlistBuilder, name: str, selects: Sequence[str]
+) -> List[str]:
+    """One-hot decoder: 2**n outputs from n select bits."""
+    inverted = [
+        builder.gate(f"{name}_n{index}", "INV", [bit])
+        for index, bit in enumerate(selects)
+    ]
+    outputs = []
+    for code in range(2 ** len(selects)):
+        terms = [
+            selects[bit] if (code >> bit) & 1 else inverted[bit]
+            for bit in range(len(selects))
+        ]
+        outputs.append(builder.gate(f"{name}_o{code}", "AND", terms))
+    return outputs
+
+
+def logic_unit(
+    builder: NetlistBuilder,
+    name: str,
+    a_bits: Sequence[str],
+    b_bits: Sequence[str],
+    op0: str,
+    op1: str,
+) -> List[str]:
+    """AND / OR / XOR / pass-a, selected by two op bits."""
+    out = []
+    for index, (a, b) in enumerate(zip(a_bits, b_bits)):
+        and_ = builder.gate(f"{name}_and{index}", "AND", [a, b])
+        or_ = builder.gate(f"{name}_or{index}", "OR", [a, b])
+        xor_ = builder.gate(f"{name}_xor{index}", "XOR", [a, b])
+        low = builder.gate(f"{name}_l{index}", "MUX2", [and_, or_, op0])
+        high = builder.gate(f"{name}_h{index}", "MUX2", [xor_, a, op0])
+        out.append(builder.gate(f"{name}_m{index}", "MUX2", [low, high, op1]))
+    return out
+
+
+def alu(
+    builder: NetlistBuilder,
+    name: str,
+    a_bits: Sequence[str],
+    b_bits: Sequence[str],
+    op_bits: Sequence[str],
+) -> List[str]:
+    """A small ALU: adder + logic unit behind an op mux.
+
+    ``op_bits``: [0] picks within the logic unit, [1] picks logic
+    high/low group, [2] picks arithmetic vs logic.
+    """
+    if len(op_bits) < 3:
+        raise ValueError("alu needs three op bits")
+    sums, _ = ripple_adder(builder, f"{name}_add", a_bits, b_bits)
+    logical = logic_unit(
+        builder, f"{name}_log", a_bits, b_bits, op_bits[0], op_bits[1]
+    )
+    return mux2_word(builder, f"{name}_sel", logical, sums, op_bits[2])
+
+
+def shifter(
+    builder: NetlistBuilder,
+    name: str,
+    bits: Sequence[str],
+    amount_bits: Sequence[str],
+) -> List[str]:
+    """Logarithmic left shifter (shift in the lsb's complement)."""
+    current = list(bits)
+    fill = builder.gate(f"{name}_fill", "INV", [bits[0]])
+    zero = builder.gate(f"{name}_zero", "AND", [bits[0], fill])
+    for stage, amount in enumerate(amount_bits):
+        distance = 1 << stage
+        shifted = [zero] * min(distance, len(current)) + list(
+            current[: max(0, len(current) - distance)]
+        )
+        current = mux2_word(
+            builder, f"{name}_st{stage}", current, shifted, amount
+        )
+    return current

@@ -1,0 +1,76 @@
+"""The paper's Fig. 4 illustrative circuit, with exact delays.
+
+The published figure gives per-gate delays and the derived ``D^f`` /
+``D^b`` table; this module reconstructs the circuit so that *every*
+number stated in Sections III-IV reproduces exactly:
+
+* ``phi1 = gamma1 = phi2 = gamma2 = 2.5`` and latch delays ``D_l = 0``;
+* ``D^f(G7) = 8``, ``D^f(G8) = 9``, endpoint arrival at ``O9`` is 9;
+* ``D^b(I1, O9) = 9`` which exceeds ``phi2+gamma2+phi1 = 7.5``;
+* ``A(G6,G7,O9) = 9``, ``A(G3,G6,O9) = 12``, ``A(G5,G7,O9) = 7``,
+  ``A(I2,G5,O9) = 12`` — hence ``g(O9) = {G5, G6}``;
+* regions ``Vm = {I1}``, ``Vn = {G7, G8}`` (plus the fixed endpoint
+  O9), ``Vr = {I2, G3, G4, G5, G6}``;
+* Cut1 (slaves after I1 and I2/G3) costs 5 units at ``c = 2`` while
+  Cut2 (slaves after G4, G5, G6) costs 4.
+
+``G4`` drives a second primary output ``O10`` (the paper's figure shows
+G4 inside the retiming region with its own fanout; an O9-side fanout
+would contradict the published ``g(O9)``), which is never
+error-detecting.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.clocks import ClockScheme
+from repro.latches.resilient import TwoPhaseCircuit
+from repro.netlist.netlist import Gate, GateType, Netlist
+from repro.sta.delay_models import FixedDelayCalculator
+
+#: Gate delays ``d(v)`` reconstructed from the published table.
+FIG4_DELAYS: Dict[str, float] = {
+    "I1": 0.0,
+    "I2": 0.0,
+    "G3": 2.0,
+    "G4": 1.0,
+    "G5": 5.0,
+    "G6": 5.0,
+    "G7": 1.0,
+    "G8": 1.0,
+}
+
+
+def fig4_netlist() -> Netlist:
+    """Connectivity of Fig. 4 (I1/I2 are the stage inputs)."""
+    netlist = Netlist("fig4")
+    netlist.add(Gate("I1", GateType.INPUT))
+    netlist.add(Gate("I2", GateType.INPUT))
+    netlist.add(Gate("G3", GateType.COMB, ("I1",), cell="BUF_X1"))
+    netlist.add(Gate("G4", GateType.COMB, ("G3", "I2"), cell="AND2_X1"))
+    netlist.add(Gate("G5", GateType.COMB, ("I2",), cell="BUF_X1"))
+    netlist.add(Gate("G6", GateType.COMB, ("G3",), cell="BUF_X1"))
+    netlist.add(Gate("G7", GateType.COMB, ("G5", "G6"), cell="AND2_X1"))
+    netlist.add(Gate("G8", GateType.COMB, ("G7",), cell="BUF_X1"))
+    netlist.add(Gate("O9", GateType.OUTPUT, ("G8",)))
+    netlist.add(Gate("O10", GateType.OUTPUT, ("G4",)))
+    return netlist
+
+
+def fig4_scheme() -> ClockScheme:
+    """``phi1 = gamma1 = phi2 = gamma2 = 2.5`` so ``Pi = 10``."""
+    return ClockScheme(phi1=2.5, gamma1=2.5, phi2=2.5, gamma2=2.5)
+
+
+def fig4_circuit() -> TwoPhaseCircuit:
+    """The worked example as a :class:`TwoPhaseCircuit` (``D_l = 0``)."""
+    netlist = fig4_netlist()
+    calculator = FixedDelayCalculator(netlist, FIG4_DELAYS)
+    return TwoPhaseCircuit(
+        netlist,
+        fig4_scheme(),
+        library=None,
+        calculator=calculator,
+        zero_latch_delays=True,
+    )

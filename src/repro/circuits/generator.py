@@ -1,0 +1,253 @@
+"""Seeded synthetic sequential-circuit generator.
+
+The ISCAS89 netlists themselves are not redistributable inside this
+offline environment, so the benchmark suite is generated: deterministic
+random FSM clouds whose *statistics* — flop count, I/O counts, gate
+count, logic depth, and the fraction of near-critical endpoints — are
+matched per circuit to the paper's Table I.  Those statistics are what
+the retiming evaluation actually exercises (they fix the size of the
+flow problem, the Vm/Vn/Vr split, and how many masters are targets).
+
+Construction: gates are placed on ``depth`` levels; each gate takes its
+first fanin from the previous level (pinning its depth) and the rest
+from lower levels, biased toward gates that are still unused.
+Endpoints are split into a *critical* group driven from the deepest
+levels (arrivals land inside the resiliency window, i.e. beyond
+``0.7 P``) and a shallow group (arrivals below it).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cells.library import Library
+from repro.netlist.netlist import Gate, GateType, Netlist
+
+#: (function, n_inputs, sampling weight) for the random cloud.
+_GATE_MENU: Sequence[Tuple[str, int, float]] = (
+    ("NAND", 2, 0.22),
+    ("NOR", 2, 0.14),
+    ("INV", 1, 0.12),
+    ("AND", 2, 0.10),
+    ("OR", 2, 0.08),
+    ("NAND", 3, 0.08),
+    ("NOR", 3, 0.05),
+    ("XOR", 2, 0.07),
+    ("XNOR", 2, 0.04),
+    ("AOI21", 3, 0.05),
+    ("OAI21", 3, 0.03),
+    ("MUX2", 3, 0.02),
+)
+
+_CELL_FOR = {
+    ("NAND", 2): "NAND2",
+    ("NAND", 3): "NAND3",
+    ("NOR", 2): "NOR2",
+    ("NOR", 3): "NOR3",
+    ("INV", 1): "INV",
+    ("AND", 2): "AND2",
+    ("OR", 2): "OR2",
+    ("XOR", 2): "XOR2",
+    ("XNOR", 2): "XNOR2",
+    ("AOI21", 3): "AOI21",
+    ("OAI21", 3): "OAI21",
+    ("MUX2", 3): "MUX2",
+}
+
+
+@dataclass(frozen=True)
+class CloudSpec:
+    """Parameters of one synthetic circuit."""
+
+    name: str
+    seed: int
+    n_inputs: int
+    n_outputs: int
+    n_flops: int
+    n_gates: int
+    depth: int
+    #: Fraction of endpoints (flop Ds + POs) that should be
+    #: near-critical (arrival inside the resiliency window).
+    critical_fraction: float = 0.25
+
+    def __post_init__(self) -> None:
+        if min(self.n_inputs, self.n_flops) < 1:
+            raise ValueError("need at least one input and one flop")
+        if self.depth < 2:
+            raise ValueError("depth must be >= 2")
+        if not 0.0 <= self.critical_fraction <= 1.0:
+            raise ValueError("critical_fraction must be in [0, 1]")
+        if self.n_gates < self.depth:
+            raise ValueError("n_gates must cover at least one gate per level")
+
+
+def _level_sizes(n_gates: int, depth: int, rng: random.Random) -> List[int]:
+    """Distribute the gate budget over levels: wide middle, narrow top."""
+    weights = []
+    for level in range(depth):
+        x = (level + 1) / depth
+        weights.append(0.35 + 1.3 * x * (1.35 - x))
+    total = sum(weights)
+    sizes = [max(1, int(round(n_gates * w / total))) for w in weights]
+    # Adjust rounding drift on a middle level.
+    drift = n_gates - sum(sizes)
+    sizes[depth // 2] = max(1, sizes[depth // 2] + drift)
+    return sizes
+
+
+def generate_circuit(spec: CloudSpec, library: Library) -> Netlist:
+    """Build the synthetic netlist for ``spec`` (deterministic).
+
+    Gates whose cones never reach an endpoint are pruned (a synthesis
+    tool would sweep them too); the gate budget is re-inflated until
+    the surviving count lands near ``spec.n_gates``.
+    """
+    budget = spec.n_gates
+    netlist: Optional[Netlist] = None
+    for attempt in range(4):
+        netlist = _generate_once(spec, budget, seed_offset=attempt)
+        _prune_dead(netlist)
+        alive = len(netlist.comb_gates())
+        if alive >= 0.9 * spec.n_gates:
+            break
+        budget = int(budget * spec.n_gates / max(1, alive)) + 1
+    assert netlist is not None
+    _upsize_heavy_drivers(netlist, library)
+    netlist.topo_order()  # validate
+    return netlist
+
+
+def _prune_dead(netlist: Netlist) -> None:
+    """Remove combinational gates with no path to any endpoint.
+
+    The dead set is fanin-closed (anything a dead gate reads that is
+    only read by dead gates is dead too), so one bulk removal suffices.
+    """
+    alive = set()
+    stack = [g.name for g in netlist.endpoints()]
+    while stack:
+        name = stack.pop()
+        if name in alive:
+            continue
+        alive.add(name)
+        stack.extend(netlist[name].fanins)
+    doomed = [
+        gate.name
+        for gate in netlist.comb_gates()
+        if gate.name not in alive
+    ]
+    if doomed:
+        netlist.remove_many(doomed)
+
+
+def _generate_once(
+    spec: CloudSpec, n_gates: int, seed_offset: int = 0
+) -> Netlist:
+    rng = random.Random(spec.seed * 7919 + seed_offset)
+    netlist = Netlist(spec.name)
+
+    sources: List[str] = []
+    for i in range(spec.n_inputs):
+        name = f"pi{i}"
+        netlist.add(Gate(name, GateType.INPUT))
+        sources.append(name)
+    flop_names = [f"ff{i}" for i in range(spec.n_flops)]
+    sources.extend(flop_names)
+
+    menu = list(_GATE_MENU)
+    menu_weights = [w for _, _, w in menu]
+
+    by_level: List[List[str]] = [list(sources)]
+    fanout_count: Dict[str, int] = {name: 0 for name in sources}
+    pending_flops: Dict[str, str] = {}
+
+    sizes = _level_sizes(n_gates, spec.depth, rng)
+    gate_id = 0
+    for level, size in enumerate(sizes, start=1):
+        current: List[str] = []
+        previous = by_level[level - 1]
+        lower_pool: List[str] = [n for lev in by_level for n in lev]
+        for _ in range(size):
+            function, n_in, _ = rng.choices(menu, weights=menu_weights)[0]
+            # First fanin pins the gate's depth to this level.
+            first = self_biased_choice(rng, previous, fanout_count)
+            fanins = [first]
+            while len(fanins) < n_in:
+                candidate = self_biased_choice(rng, lower_pool, fanout_count)
+                if candidate not in fanins or len(lower_pool) <= n_in:
+                    fanins.append(candidate)
+            name = f"g{gate_id}"
+            gate_id += 1
+            # Synthesized netlists carry a drive distribution (the
+            # tool upsizes along once-critical paths); this headroom is
+            # what area recovery and incremental sizing later trade.
+            drive = rng.choices((1, 2, 4), weights=(0.55, 0.35, 0.10))[0]
+            cell = f"{_CELL_FOR[(function, n_in)]}_X{drive}"
+            netlist.add(
+                Gate(name, GateType.COMB, tuple(fanins), cell=cell)
+            )
+            for fanin in fanins:
+                fanout_count[fanin] = fanout_count.get(fanin, 0) + 1
+            fanout_count[name] = 0
+            current.append(name)
+        by_level.append(current)
+
+    # Endpoints: flop Ds and POs, split into critical / shallow groups.
+    endpoints: List[Tuple[str, bool]] = [(n, True) for n in flop_names]
+    endpoints.extend((f"po{i}", False) for i in range(spec.n_outputs))
+    rng.shuffle(endpoints)
+    n_critical = int(round(spec.critical_fraction * len(endpoints)))
+
+    deep_levels = by_level[max(1, int(spec.depth * 0.85)):]
+    deep_pool = [n for lev in deep_levels for n in lev]
+    shallow_levels = by_level[1 : max(2, int(spec.depth * 0.60))]
+    shallow_pool = [n for lev in shallow_levels for n in lev]
+    if not deep_pool:
+        deep_pool = by_level[-1]
+    if not shallow_pool:
+        shallow_pool = by_level[1]
+
+    for index, (name, is_flop) in enumerate(endpoints):
+        pool = deep_pool if index < n_critical else shallow_pool
+        driver = self_biased_choice(rng, pool, fanout_count)
+        fanout_count[driver] += 1
+        if is_flop:
+            netlist.add(Gate(name, GateType.DFF, (driver,), cell="DFF_X1"))
+        else:
+            netlist.add(Gate(name, GateType.OUTPUT, (driver,)))
+    return netlist
+
+
+def self_biased_choice(
+    rng: random.Random, pool: Sequence[str], fanout_count: Dict[str, int]
+) -> str:
+    """Pick from ``pool`` preferring nodes that are still unused.
+
+    Keeps the number of dangling gates low without a fix-up pass that
+    would distort the level structure.
+    """
+    if not pool:
+        raise ValueError("empty candidate pool")
+    for _ in range(3):
+        candidate = rng.choice(pool)
+        if fanout_count.get(candidate, 0) == 0:
+            return candidate
+    return rng.choice(pool)
+
+
+def _upsize_heavy_drivers(netlist: Netlist, library: Library) -> None:
+    """Give high-fanout gates stronger drive, as a mapper would."""
+    for gate in netlist.comb_gates():
+        fanout = len(netlist.fanouts(gate.name))
+        if fanout >= 8:
+            drive = 4
+        elif fanout >= 4:
+            drive = 2
+        else:
+            continue
+        base = gate.cell.rsplit("_X", 1)[0]
+        candidate = f"{base}_X{drive}"
+        if candidate in library:
+            netlist.replace_cell(gate.name, candidate)

@@ -1,0 +1,174 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``list``
+    Show the benchmark circuits and their Table I profiles.
+``run``
+    Run one retiming flow on one circuit and print the outcome.
+``tables``
+    Regenerate the paper's tables on a circuit selection.
+``example``
+    Print the Fig. 4 worked example.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.cells import default_library
+from repro.circuits import build_benchmark, suite_names
+from repro.flows import METHODS, prepare_circuit, run_flow
+from repro.harness import ExperimentSuite
+from repro.harness.paper import PAPER_TABLE1
+from repro.sim import estimate_error_rate
+
+
+def _cmd_list(_: argparse.Namespace) -> int:
+    print(f"{'circuit':>8s} {'P(ns)':>6s} {'flops':>6s} {'NCE':>5s} {'area':>9s}")
+    for name in suite_names():
+        period, flops, nce, area = PAPER_TABLE1[name]
+        print(f"{name:>8s} {period:6.1f} {flops:6d} {nce:5d} {area:9.2f}")
+    print("\n(paper Table I values; generated circuits match the flop")
+    print(" counts exactly and the NCE fractions approximately)")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    library = default_library()
+    netlist = build_benchmark(args.circuit, library)
+    scheme, _ = prepare_circuit(netlist, library)
+    print(f"{args.circuit}: {netlist.stats()}")
+    print(
+        f"clock: P={scheme.max_path_delay:.4f} Pi={scheme.period:.4f} "
+        f"window={scheme.resiliency_window:.4f}"
+    )
+    outcome = run_flow(
+        args.method, netlist, library, args.overhead, scheme=scheme
+    )
+    print(outcome.summary())
+    if args.error_rate:
+        report = estimate_error_rate(
+            outcome.circuit,
+            outcome.retiming.placement,
+            outcome.edl_endpoints,
+            cycles=args.cycles,
+        )
+        print(
+            f"error rate: {report.error_rate:.2f}% over {report.cycles} "
+            f"cycles ({report.non_edl_violations} non-EDL violations)"
+        )
+    return 0
+
+
+def _cmd_tables(args: argparse.Namespace) -> int:
+    circuits = args.circuits or ["s1196", "s1238", "s1423", "s1488"]
+    if circuits == ["full"]:
+        circuits = suite_names()
+    suite = ExperimentSuite(circuits=circuits, error_rate_cycles=args.cycles)
+    producers = [
+        ("table i", suite.table1),
+        ("table ii", suite.table2),
+        ("table iii", suite.table3),
+        ("table iv", suite.table4),
+        ("table v", suite.table5),
+        ("table vi", suite.table6),
+        ("table vii", suite.table7),
+        ("table viii", suite.table8),
+        ("table ix", suite.table9),
+        ("vi-d", suite.flop_comparison),
+    ]
+    wanted = [w.lower() for w in (args.tables or [])]
+    for _, producer in producers:
+        table = None
+        if wanted:
+            # Filter by the rendered id without computing the table:
+            # producer names map 1:1 onto table ids.
+            label = producer.__name__
+            table_id = {
+                "table1": "table i", "table2": "table ii",
+                "table3": "table iii", "table4": "table iv",
+                "table5": "table v", "table6": "table vi",
+                "table7": "table vii", "table8": "table viii",
+                "table9": "table ix", "flop_comparison": "vi-d",
+            }[label]
+            if table_id not in wanted:
+                continue
+        table = producer()
+        print()
+        print(table.render())
+    return 0
+
+
+def _cmd_example(_: argparse.Namespace) -> int:
+    import runpy
+    from pathlib import Path
+
+    script = (
+        Path(__file__).resolve().parent.parent.parent
+        / "examples"
+        / "worked_example.py"
+    )
+    if script.exists():
+        runpy.run_path(str(script), run_name="__main__")
+        return 0
+    # Installed without the examples directory: run the core inline.
+    from repro.circuits.fig4 import fig4_circuit
+    from repro.retime import grar_retime
+
+    result = grar_retime(fig4_circuit(), overhead=2.0)
+    print(result.summary())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse parser for ``python -m repro``."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Retiming of two-phase latch-based resilient circuits",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list benchmark circuits").set_defaults(
+        func=_cmd_list
+    )
+
+    run = sub.add_parser("run", help="run one flow on one circuit")
+    run.add_argument("circuit", help="benchmark name, e.g. s1196")
+    run.add_argument(
+        "--method", default="grar", choices=list(METHODS)
+    )
+    run.add_argument("--overhead", type=float, default=1.0)
+    run.add_argument("--error-rate", action="store_true")
+    run.add_argument("--cycles", type=int, default=192)
+    run.set_defaults(func=_cmd_run)
+
+    tables = sub.add_parser("tables", help="regenerate paper tables")
+    tables.add_argument(
+        "circuits", nargs="*",
+        help="circuit names, or 'full' for all twelve",
+    )
+    tables.add_argument(
+        "--tables", nargs="*", default=None,
+        help="filter, e.g. --tables 'table v' 'table viii'",
+    )
+    tables.add_argument("--cycles", type=int, default=128)
+    tables.set_defaults(func=_cmd_tables)
+
+    sub.add_parser(
+        "example", help="walk the paper's Fig. 4 worked example"
+    ).set_defaults(func=_cmd_example)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

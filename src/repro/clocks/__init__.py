@@ -1,0 +1,13 @@
+"""Two-phase clock models for latch-based resilient circuits.
+
+The clock model of a latch-based design with *k* phases is written
+``<phi_1, gamma_1, ..., phi_k, gamma_k>`` where ``phi_i`` is the
+transparent window of phase *i* and ``gamma_i`` the gap to the next
+phase (Papaefthymiou/Randall, DAC'93).  This package provides the
+two-phase instance used throughout the paper, including the resiliency
+window bookkeeping of Fig. 1.
+"""
+
+from repro.clocks.scheme import ClockScheme, scheme_from_period
+
+__all__ = ["ClockScheme", "scheme_from_period"]

@@ -1,0 +1,161 @@
+"""Two-phase symmetric clock scheme with a timing-resiliency window.
+
+Timing reference (Fig. 1 of the paper): a master latch launches data at
+time 0.  The associated slave latches are transparent during
+``[phi1 + gamma1, phi1 + gamma1 + phi2]``.  The next master stage opens
+its resiliency window at ``Pi = phi1 + gamma1 + phi2 + gamma2`` and the
+window closes at ``Pi + phi1``.  Data arriving inside the window raises
+a timing error that stalls the next stage; data must never arrive after
+the window closes, so the maximum legal path delay between master
+stages is ``P = Pi + phi1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ClockScheme:
+    """A two-phase clock ``<phi1, gamma1, phi2, gamma2>``.
+
+    Attributes
+    ----------
+    phi1:
+        Transparent window of phase 1 (master latches).  Also the width
+        of the timing-resiliency window.
+    gamma1:
+        Gap between the falling edge of phase 1 and the rising edge of
+        phase 2.
+    phi2:
+        Transparent window of phase 2 (slave latches).
+    gamma2:
+        Gap between the falling edge of phase 2 and the next rising
+        edge of phase 1.
+    """
+
+    phi1: float
+    gamma1: float
+    phi2: float
+    gamma2: float
+
+    def __post_init__(self) -> None:
+        for name in ("phi1", "gamma1", "phi2", "gamma2"):
+            value = getattr(self, name)
+            if value < 0:
+                raise ValueError(f"{name} must be non-negative, got {value}")
+        if self.phi1 <= 0 or self.phi2 <= 0:
+            raise ValueError("transparent windows phi1/phi2 must be positive")
+
+    @property
+    def period(self) -> float:
+        """Clock period ``Pi = phi1 + gamma1 + phi2 + gamma2``."""
+        return self.phi1 + self.gamma1 + self.phi2 + self.gamma2
+
+    @property
+    def pi(self) -> float:
+        """Alias for :attr:`period` matching the paper's ``Pi``."""
+        return self.period
+
+    @property
+    def resiliency_window(self) -> float:
+        """Width of the timing-resiliency window (equals ``phi1``)."""
+        return self.phi1
+
+    @property
+    def max_path_delay(self) -> float:
+        """Maximum legal master-to-master delay ``P = Pi + phi1``."""
+        return self.period + self.phi1
+
+    @property
+    def slave_open(self) -> float:
+        """Time the slave latches become transparent: ``phi1 + gamma1``."""
+        return self.phi1 + self.gamma1
+
+    @property
+    def slave_close(self) -> float:
+        """Time the slave latches turn opaque: ``phi1 + gamma1 + phi2``."""
+        return self.phi1 + self.gamma1 + self.phi2
+
+    @property
+    def forward_limit(self) -> float:
+        """Constraint (6) bound: a slave at gate ``v`` needs
+        ``D^f(v) <= phi1 + gamma1 + phi2``."""
+        return self.phi1 + self.gamma1 + self.phi2
+
+    @property
+    def backward_limit(self) -> float:
+        """Constraint (7) bound: a slave at gate ``v`` needs
+        ``D^b(v, t) <= phi2 + gamma2 + phi1``."""
+        return self.phi2 + self.gamma2 + self.phi1
+
+    @property
+    def window_open(self) -> float:
+        """Opening time of the destination master's resiliency window.
+
+        Data arriving before this needs no error detection; data
+        arriving in ``(window_open, window_close]`` triggers an error.
+        """
+        return self.period
+
+    @property
+    def window_close(self) -> float:
+        """Closing time of the resiliency window (= max legal arrival)."""
+        return self.period + self.phi1
+
+    def is_symmetric(self, tol: float = 1e-12) -> bool:
+        """True for the symmetric scheme ``phi1 == phi2, gamma1 == gamma2``."""
+        return (
+            abs(self.phi1 - self.phi2) <= tol
+            and abs(self.gamma1 - self.gamma2) <= tol
+        )
+
+    def scaled(self, factor: float) -> "ClockScheme":
+        """Return a copy with every interval multiplied by ``factor``."""
+        if factor <= 0:
+            raise ValueError("scale factor must be positive")
+        return ClockScheme(
+            self.phi1 * factor,
+            self.gamma1 * factor,
+            self.phi2 * factor,
+            self.gamma2 * factor,
+        )
+
+    def waveforms(self, cycles: int = 1, resolution: int = 40) -> dict:
+        """Sampled phase-1/phase-2 waveforms, for plotting Fig. 1.
+
+        Returns a dict with keys ``time``, ``clk1``, ``clk2``,
+        ``window`` — each a list of ``cycles * resolution`` samples.
+        ``clk1``/``clk2`` are 0/1 levels; ``window`` marks the
+        resiliency window of the *next* master stage.
+        """
+        if cycles < 1:
+            raise ValueError("cycles must be >= 1")
+        period = self.period
+        time, clk1, clk2, window = [], [], [], []
+        for i in range(cycles * resolution):
+            t = i * (cycles * period) / (cycles * resolution)
+            tm = t % period
+            time.append(t)
+            clk1.append(1 if tm < self.phi1 else 0)
+            clk2.append(
+                1 if self.slave_open <= tm < self.slave_close else 0
+            )
+            # The resiliency window of the next stage spans
+            # [period, period + phi1], i.e. wraps to [0, phi1].
+            window.append(1 if tm < self.phi1 else 0)
+        return {"time": time, "clk1": clk1, "clk2": clk2, "window": window}
+
+
+def scheme_from_period(max_path_delay: float) -> ClockScheme:
+    """Build the paper's experimental clock scheme from ``P``.
+
+    Section VI-A: the resiliency window ``phi1`` is 30% of the maximum
+    delay ``P`` between detecting stages, ``gamma1 = 0``,
+    ``gamma2 = 0.05 P`` and ``phi2 = 0.35 P``, hence ``Pi = 0.7 P`` and
+    ``Pi + phi1 = P``.
+    """
+    if max_path_delay <= 0:
+        raise ValueError("max_path_delay must be positive")
+    p = float(max_path_delay)
+    return ClockScheme(phi1=0.3 * p, gamma1=0.0, phi2=0.35 * p, gamma2=0.05 * p)

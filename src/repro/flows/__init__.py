@@ -1,0 +1,26 @@
+"""End-to-end flows: the experiment entry points.
+
+Each flow takes a flop-based netlist, converts it to the two-phase
+latch-based resilient form, retimes the slave latches with one of the
+paper's three approaches, runs the size-only incremental compile to
+clean up residual violations, and reports final areas and counts.
+"""
+
+from repro.flows.run import (
+    FlowOutcome,
+    METHODS,
+    prepare_circuit,
+    run_flow,
+    run_methods,
+)
+from repro.flows.tradeoff import TradeoffPoint, error_rate_tradeoff
+
+__all__ = [
+    "FlowOutcome",
+    "METHODS",
+    "TradeoffPoint",
+    "error_rate_tradeoff",
+    "prepare_circuit",
+    "run_flow",
+    "run_methods",
+]

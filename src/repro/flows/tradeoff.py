@@ -1,0 +1,82 @@
+"""The area / error-rate trade-off sweep (Section VI-D).
+
+The paper observes that "with a modest area increase of, on average
+5%, error-rates can be further reduced, sometimes to 0": spending more
+combinational area on speeding near-critical cones pulls more masters
+out of the resiliency window, cutting both EDL count and dynamic error
+rate.  This sweep exposes that curve by scaling G-RAR's cost-aware
+rescue budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.cells.library import Library
+from repro.clocks import ClockScheme
+from repro.flows.run import prepare_circuit, run_flow
+from repro.netlist.netlist import Netlist
+from repro.sim import estimate_error_rate
+
+
+@dataclass(frozen=True)
+class TradeoffPoint:
+    """One budget setting on the area/error-rate curve."""
+
+    budget_scale: float
+    total_area: float
+    comb_area: float
+    n_edl: int
+    error_rate: float
+
+    def row(self) -> tuple:
+        """The point as a rounded tuple (for tables)."""
+        return (
+            self.budget_scale,
+            round(self.total_area, 1),
+            round(self.comb_area, 1),
+            self.n_edl,
+            round(self.error_rate, 2),
+        )
+
+
+def error_rate_tradeoff(
+    netlist: Netlist,
+    library: Library,
+    overhead: float,
+    budget_scales: Sequence[float] = (0.0, 0.5, 1.0, 2.0, 4.0),
+    scheme: Optional[ClockScheme] = None,
+    cycles: int = 160,
+    seed: int = 2017,
+) -> List[TradeoffPoint]:
+    """Sweep the rescue budget and measure area vs error rate."""
+    if scheme is None:
+        scheme, _ = prepare_circuit(netlist, library)
+    points: List[TradeoffPoint] = []
+    for scale in budget_scales:
+        outcome = run_flow(
+            "grar",
+            netlist,
+            library,
+            overhead,
+            scheme=scheme,
+            rescue_budget_scale=scale,
+        )
+        report = estimate_error_rate(
+            outcome.circuit,
+            outcome.retiming.placement,
+            outcome.edl_endpoints,
+            cycles=cycles,
+            seed=seed,
+        )
+        points.append(
+            TradeoffPoint(
+                budget_scale=scale,
+                total_area=outcome.total_area,
+                comb_area=outcome.comb_area,
+                n_edl=outcome.n_edl,
+                error_rate=report.error_rate,
+            )
+        )
+    return points

@@ -1,0 +1,13 @@
+"""Experiment harness: regenerates every table and figure of the paper."""
+
+from repro.harness.tables import TableResult, render_table
+from repro.harness.paper import PAPER_AVERAGES, PAPER_TABLE1
+from repro.harness.experiments import ExperimentSuite
+
+__all__ = [
+    "TableResult",
+    "render_table",
+    "PAPER_AVERAGES",
+    "PAPER_TABLE1",
+    "ExperimentSuite",
+]

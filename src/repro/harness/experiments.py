@@ -1,0 +1,423 @@
+"""Experiment drivers: one method per paper table/figure.
+
+:class:`ExperimentSuite` lazily generates the benchmark circuits,
+memoizes flow outcomes across tables (Tables IV-VII share the same
+runs), and renders each table in the paper's layout.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.compare import average, improvement
+from repro.cells import default_library
+from repro.cells.library import Library
+from repro.circuits import build_benchmark, suite_names
+from repro.clocks import ClockScheme
+from repro.flows import FlowOutcome, prepare_circuit, run_flow
+from repro.harness.paper import OVERHEAD_LEVELS, PAPER_TABLE1
+from repro.harness.tables import TableResult
+from repro.latches.conversion import flop_resilient_area, original_flop_report
+from repro.netlist.netlist import Netlist
+from repro.sim import estimate_error_rate
+
+LEVELS: Sequence[Tuple[str, float]] = tuple(OVERHEAD_LEVELS.items())
+
+
+class ExperimentSuite:
+    """Shared state and drivers for all experiments."""
+
+    def __init__(
+        self,
+        circuits: Optional[Sequence[str]] = None,
+        library: Optional[Library] = None,
+        error_rate_cycles: int = 192,
+        sim_seed: int = 2017,
+    ) -> None:
+        self.circuit_names = list(circuits or suite_names())
+        self.library = library or default_library()
+        self.error_rate_cycles = error_rate_cycles
+        self.sim_seed = sim_seed
+        self._netlists: Dict[str, Netlist] = {}
+        self._schemes: Dict[str, ClockScheme] = {}
+        self._outcomes: Dict[Tuple[str, str, float], FlowOutcome] = {}
+        self._error_rates: Dict[Tuple[str, str, float], float] = {}
+
+    # -- shared state ------------------------------------------------------
+
+    def netlist(self, name: str) -> Netlist:
+        """The (memoized) generated netlist for ``name``."""
+        if name not in self._netlists:
+            self._netlists[name] = build_benchmark(name, self.library)
+        return self._netlists[name]
+
+    def scheme(self, name: str) -> ClockScheme:
+        """The (memoized) derived clock scheme for ``name``."""
+        if name not in self._schemes:
+            scheme, _ = prepare_circuit(self.netlist(name), self.library)
+            self._schemes[name] = scheme
+        return self._schemes[name]
+
+    #: Methods whose retiming, sizing, and EDL decisions do not read
+    #: the overhead at all — ``c`` only enters their cost arithmetic.
+    #: (G-RAR variants are genuinely c-dependent: credits and rescue
+    #: budgets scale with the overhead.)
+    C_INDEPENDENT = frozenset(
+        {"base", "evl", "nvl", "rvl", "rvl-noswap", "rvl-movable"}
+    )
+
+    def outcome(self, name: str, method: str, overhead: float) -> FlowOutcome:
+        """The (memoized) flow outcome for (circuit, method, c).
+
+        For c-independent methods the flow runs once and other
+        overheads are derived by re-costing (same placement, same EDL
+        set) — a 3x saving on the full-suite tables.
+        """
+        key = (name, method, overhead)
+        if key in self._outcomes:
+            return self._outcomes[key]
+        if method in self.C_INDEPENDENT:
+            canonical = (name, method, 1.0)
+            if canonical not in self._outcomes:
+                self._outcomes[canonical] = run_flow(
+                    method,
+                    self.netlist(name),
+                    self.library,
+                    1.0,
+                    scheme=self.scheme(name),
+                )
+            base = self._outcomes[canonical]
+            if overhead == 1.0:
+                return base
+            self._outcomes[key] = self._recost(base, overhead)
+            return self._outcomes[key]
+        self._outcomes[key] = run_flow(
+            method,
+            self.netlist(name),
+            self.library,
+            overhead,
+            scheme=self.scheme(name),
+        )
+        return self._outcomes[key]
+
+    @staticmethod
+    def _recost(outcome: FlowOutcome, overhead: float) -> FlowOutcome:
+        """Clone an outcome under a different EDL overhead."""
+        from dataclasses import replace
+
+        return replace(
+            outcome,
+            overhead=overhead,
+            cost=replace(outcome.cost, overhead=overhead),
+        )
+
+    def error_rate(self, name: str, method: str, overhead: float) -> float:
+        """The (memoized) simulated error rate in percent.
+
+        c-independent methods share one simulation (identical
+        placements and EDL sets across overheads).
+        """
+        if method in self.C_INDEPENDENT and overhead != 1.0:
+            return self.error_rate(name, method, 1.0)
+        key = (name, method, overhead)
+        if key not in self._error_rates:
+            out = self.outcome(name, method, overhead)
+            report = estimate_error_rate(
+                out.circuit,
+                out.retiming.placement,
+                out.edl_endpoints,
+                cycles=self.error_rate_cycles,
+                seed=self.sim_seed,
+            )
+            self._error_rates[key] = report.error_rate
+        return self._error_rates[key]
+
+    # -- Table I ----------------------------------------------------------
+
+    def table1(self) -> TableResult:
+        """Circuit information of the original flop-based designs."""
+        table = TableResult(
+            "Table I",
+            "circuit info of original flop-based designs",
+            ["circuit", "P(ns)", "flop#", "NCE#", "gates", "area",
+             "paper_P", "paper_flop#", "paper_NCE#"],
+        )
+        for name in self.circuit_names:
+            netlist = self.netlist(name)
+            scheme = self.scheme(name)
+            report = original_flop_report(netlist, scheme, self.library)
+            paper = PAPER_TABLE1.get(name, (0, 0, 0, 0))
+            table.add_row(
+                name,
+                round(scheme.max_path_delay, 3),
+                report.n_flops,
+                report.n_near_critical,
+                report.n_comb_gates,
+                round(report.total_area, 2),
+                paper[0],
+                paper[1],
+                paper[2],
+            )
+        table.add_note(
+            "synthetic circuits matched to the paper's flop counts and "
+            "NCE fractions; areas use the repro library's units"
+        )
+        return table
+
+    # -- Table II -----------------------------------------------------------
+
+    def table2(self) -> TableResult:
+        """Gate-based vs path-based delay model G-RAR (total area)."""
+        table = TableResult(
+            "Table II",
+            "total area: gate-based vs path-based G-RAR",
+            ["circuit"]
+            + [f"{lvl}:{col}" for lvl, _ in LEVELS
+               for col in ("gate", "path", "impr%")],
+        )
+        for name in self.circuit_names:
+            row: List = [name]
+            for _, c in LEVELS:
+                gate = self.outcome(name, "grar-gate", c).total_area
+                path = self.outcome(name, "grar", c).total_area
+                row += [round(gate, 1), round(path, 1),
+                        round(improvement(gate, path), 2)]
+            table.add_row(*row)
+        for index, (lvl, _) in enumerate(LEVELS):
+            col = f"{lvl}:impr%"
+            table.add_note(
+                f"average {lvl} improvement: "
+                f"{average(table.column(col)):.2f}%"
+            )
+        return table
+
+    # -- Table III -----------------------------------------------------------
+
+    def table3(self) -> TableResult:
+        """Area comparison of the virtual-library variants."""
+        table = TableResult(
+            "Table III",
+            "total area of NVL / EVL / RVL",
+            ["circuit"]
+            + [f"{lvl}:{v}" for lvl, _ in LEVELS
+               for v in ("NVL", "EVL", "RVL")],
+        )
+        for name in self.circuit_names:
+            row: List = [name]
+            for _, c in LEVELS:
+                row += [
+                    round(self.outcome(name, "nvl", c).total_area, 1),
+                    round(self.outcome(name, "evl", c).total_area, 1),
+                    round(self.outcome(name, "rvl", c).total_area, 1),
+                ]
+            table.add_row(*row)
+        for lvl, _ in LEVELS:
+            avgs = {
+                v: average(table.column(f"{lvl}:{v}"))
+                for v in ("NVL", "EVL", "RVL")
+            }
+            table.add_note(
+                f"{lvl} averages: "
+                + " ".join(f"{k}={v:.1f}" for k, v in avgs.items())
+            )
+        return table
+
+    # -- Tables IV & V ---------------------------------------------------------
+
+    def _comparison_table(
+        self, table_id: str, title: str, metric: str
+    ) -> TableResult:
+        table = TableResult(
+            table_id,
+            title,
+            ["circuit"]
+            + [f"{lvl}:{col}" for lvl, _ in LEVELS
+               for col in ("base", "rvl", "rvl%", "grar", "grar%")],
+        )
+        for name in self.circuit_names:
+            row: List = [name]
+            for _, c in LEVELS:
+                base = getattr(self.outcome(name, "base", c), metric)
+                rvl = getattr(self.outcome(name, "rvl", c), metric)
+                grar = getattr(self.outcome(name, "grar", c), metric)
+                row += [
+                    round(base, 1),
+                    round(rvl, 1),
+                    round(improvement(base, rvl), 2),
+                    round(grar, 1),
+                    round(improvement(base, grar), 2),
+                ]
+            table.add_row(*row)
+        for lvl, _ in LEVELS:
+            table.add_note(
+                f"{lvl} average improvement: "
+                f"RVL {average(table.column(f'{lvl}:rvl%')):.2f}% "
+                f"G-RAR {average(table.column(f'{lvl}:grar%')):.2f}%"
+            )
+        return table
+
+    def table4(self) -> TableResult:
+        """Sequential logic area: base vs RVL-RAR vs G-RAR."""
+        return self._comparison_table(
+            "Table IV",
+            "sequential logic area: base / RVL / G-RAR",
+            "sequential_area",
+        )
+
+    def table5(self) -> TableResult:
+        """Total area: base vs RVL-RAR vs G-RAR."""
+        return self._comparison_table(
+            "Table V", "total area: base / RVL / G-RAR", "total_area"
+        )
+
+    # -- Table VI -----------------------------------------------------------
+
+    def table6(self) -> TableResult:
+        """Slave-latch and EDL-master counts per approach."""
+        table = TableResult(
+            "Table VI",
+            "slave and error-detecting master counts",
+            ["circuit", "approach"]
+            + [f"{lvl}:{col}" for lvl, _ in LEVELS
+               for col in ("slave#", "EDL#")],
+        )
+        for name in self.circuit_names:
+            for method, label in (
+                ("base", "Base"), ("rvl", "RVL"), ("grar", "G"),
+            ):
+                row: List = [name, label]
+                for _, c in LEVELS:
+                    out = self.outcome(name, method, c)
+                    row += [out.n_slaves, out.n_edl]
+                table.add_row(*row)
+        return table
+
+    # -- Table VII -----------------------------------------------------------
+
+    def table7(self) -> TableResult:
+        """Flow run-times (seconds)."""
+        table = TableResult(
+            "Table VII",
+            "run-time (s) per approach",
+            ["circuit"]
+            + [f"{lvl}:{m}" for lvl, _ in LEVELS
+               for m in ("base", "rvl", "grar")],
+        )
+        for name in self.circuit_names:
+            row: List = [name]
+            for _, c in LEVELS:
+                row += [
+                    round(self.outcome(name, "base", c).runtime_s, 2),
+                    round(self.outcome(name, "rvl", c).runtime_s, 2),
+                    round(self.outcome(name, "grar", c).runtime_s, 2),
+                ]
+            table.add_row(*row)
+        return table
+
+    # -- Table VIII -----------------------------------------------------------
+
+    def table8(self) -> TableResult:
+        """Error rates (%) per approach."""
+        table = TableResult(
+            "Table VIII",
+            "error rate (%) per approach",
+            ["circuit"]
+            + [f"{lvl}:{m}" for lvl, _ in LEVELS
+               for m in ("base", "rvl", "grar")],
+        )
+        for name in self.circuit_names:
+            row: List = [name]
+            for _, c in LEVELS:
+                row += [
+                    round(self.error_rate(name, "base", c), 2),
+                    round(self.error_rate(name, "rvl", c), 2),
+                    round(self.error_rate(name, "grar", c), 2),
+                ]
+            table.add_row(*row)
+        for lvl, _ in LEVELS:
+            table.add_note(
+                f"{lvl} averages: base "
+                f"{average(table.column(f'{lvl}:base')):.2f}% rvl "
+                f"{average(table.column(f'{lvl}:rvl')):.2f}% grar "
+                f"{average(table.column(f'{lvl}:grar')):.2f}%"
+            )
+        return table
+
+    # -- Table IX -----------------------------------------------------------
+
+    def table9(self) -> TableResult:
+        """Fixed- vs movable-master RVL total area."""
+        table = TableResult(
+            "Table IX",
+            "total area: fixed vs movable-master RVL",
+            ["circuit"]
+            + [f"{lvl}:{col}" for lvl, _ in LEVELS
+               for col in ("fixed", "movable", "diff%")],
+        )
+        for name in self.circuit_names:
+            row: List = [name]
+            for _, c in LEVELS:
+                fixed = self.outcome(name, "rvl", c).total_area
+                movable = self.outcome(name, "rvl-movable", c).total_area
+                row += [
+                    round(fixed, 1),
+                    round(movable, 1),
+                    round(improvement(fixed, movable), 2),
+                ]
+            table.add_row(*row)
+        for lvl, _ in LEVELS:
+            table.add_note(
+                f"{lvl} average diff: "
+                f"{average(table.column(f'{lvl}:diff%')):.2f}%"
+            )
+        return table
+
+    # -- Section VI-D flop-resilient comparison ---------------------------------
+
+    def flop_comparison(self) -> TableResult:
+        """Latch-based resilient vs flop-based resilient area."""
+        table = TableResult(
+            "VI-D",
+            "latch-based (G-RAR) vs flop-based resilient area",
+            ["circuit", "flop_design"]
+            + [f"{lvl}:{col}" for lvl, _ in LEVELS
+               for col in ("flop_res", "latch_res", "saving%")],
+        )
+        for name in self.circuit_names:
+            netlist = self.netlist(name)
+            scheme = self.scheme(name)
+            report = original_flop_report(netlist, scheme, self.library)
+            row: List = [name, round(report.total_area, 1)]
+            for _, c in LEVELS:
+                flop_res = flop_resilient_area(report, self.library, c)
+                latch_res = self.outcome(name, "grar", c).total_area
+                row += [
+                    round(flop_res, 1),
+                    round(latch_res, 1),
+                    round(improvement(flop_res, latch_res), 2),
+                ]
+            table.add_row(*row)
+        for lvl, _ in LEVELS:
+            table.add_note(
+                f"{lvl} average saving vs flop-resilient: "
+                f"{average(table.column(f'{lvl}:saving%')):.2f}%"
+            )
+        return table
+
+    # -- everything -------------------------------------------------------------
+
+    def all_tables(self) -> List[TableResult]:
+        """Every table, computed in order."""
+        return [
+            self.table1(),
+            self.table2(),
+            self.table3(),
+            self.table4(),
+            self.table5(),
+            self.table6(),
+            self.table7(),
+            self.table8(),
+            self.table9(),
+            self.flop_comparison(),
+        ]

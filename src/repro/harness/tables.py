@@ -1,0 +1,88 @@
+"""Plain-text table rendering for the experiment harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Sequence
+
+
+@dataclass
+class TableResult:
+    """A rendered experiment table plus its raw rows."""
+
+    table_id: str
+    title: str
+    headers: List[str]
+    rows: List[List[Any]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, *values: Any) -> None:
+        """Append one row of cell values."""
+        self.rows.append(list(values))
+
+    def add_note(self, note: str) -> None:
+        """Append a footnote line."""
+        self.notes.append(note)
+
+    def column(self, header: str) -> List[Any]:
+        """All values under ``header``."""
+        index = self.headers.index(header)
+        return [row[index] for row in self.rows]
+
+    def row_for(self, key: Any) -> List[Any]:
+        """The first row whose key column equals ``key``."""
+        for row in self.rows:
+            if row and row[0] == key:
+                return row
+        raise KeyError(f"no row keyed {key!r} in {self.table_id}")
+
+    def render(self) -> str:
+        """The table as aligned ASCII text."""
+        return render_table(self)
+
+    def to_csv(self) -> str:
+        """The table as CSV (for plotting pipelines)."""
+        import csv
+        import io
+
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        writer.writerow(self.headers)
+        for row in self.rows:
+            writer.writerow(row)
+        return buffer.getvalue()
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()
+
+
+def _format(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def render_table(table: TableResult) -> str:
+    """Column-aligned ASCII rendering."""
+    cells = [[_format(v) for v in row] for row in table.rows]
+    widths = [len(h) for h in table.headers]
+    for row in cells:
+        for index, cell in enumerate(row):
+            if index < len(widths):
+                widths[index] = max(widths[index], len(cell))
+
+    def line(values: Sequence[str]) -> str:
+        parts = [
+            value.rjust(widths[index]) if index else value.ljust(widths[index])
+            for index, value in enumerate(values)
+        ]
+        return "  ".join(parts)
+
+    out = [f"{table.table_id}: {table.title}"]
+    out.append(line(table.headers))
+    out.append("-" * (sum(widths) + 2 * (len(widths) - 1)))
+    for row in cells:
+        out.append(line(row))
+    for note in table.notes:
+        out.append(f"  note: {note}")
+    return "\n".join(out)

@@ -1,0 +1,38 @@
+"""Two-phase latch-based resilient circuit model (Sections II-III).
+
+The flop-based netlist is *cut at its sequential elements*: every flop
+becomes a fixed master latch (its Q launches the combinational cloud at
+time 0, its D terminates it) plus a movable slave latch that starts at
+the master's output.  Primary inputs are treated as outputs of fixed
+environment masters — each also carrying a movable slave, as in the
+paper's Fig. 4 where the host edges into I1/I2 have weight 1 — and
+primary outputs as inputs of fixed masters of the next stage.
+
+A retiming configuration is a :class:`SlavePlacement` (the ``r`` labels
+of Section II-C restricted to {-1, 0}); :class:`TwoPhaseCircuit`
+evaluates eq. (5) arrivals, constraints (6)/(7), error-detecting status
+per master, and the sequential-area cost the paper minimizes.
+"""
+
+from repro.latches.placement import HOST, SlavePlacement
+from repro.latches.resilient import (
+    LegalityReport,
+    SequentialCost,
+    TwoPhaseCircuit,
+)
+from repro.latches.conversion import (
+    original_flop_report,
+    flop_resilient_area,
+    FlopDesignReport,
+)
+
+__all__ = [
+    "HOST",
+    "SlavePlacement",
+    "TwoPhaseCircuit",
+    "LegalityReport",
+    "SequentialCost",
+    "original_flop_report",
+    "flop_resilient_area",
+    "FlopDesignReport",
+]

@@ -1,0 +1,89 @@
+"""Flop-design reporting and flop-to-latch conversion accounting.
+
+Covers the Table I circuit characterization (period, flop count,
+near-critical endpoints, area of the original flop-based design) and
+the Section VI-D comparison against a *flop-based* resilient design,
+estimated by adding the EDL overhead to every near-critical endpoint
+of the original design.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cells.library import Library
+from repro.clocks import ClockScheme
+from repro.netlist.netlist import Netlist
+from repro.sta.engine import TimingEngine
+
+
+@dataclass(frozen=True)
+class FlopDesignReport:
+    """Characterization of the original flop-based design (Table I)."""
+
+    name: str
+    max_path_delay: float
+    n_flops: int
+    n_inputs: int
+    n_outputs: int
+    n_comb_gates: int
+    n_near_critical: int
+    worst_arrival: float
+    comb_area: float
+    flop_area: float
+
+    @property
+    def total_area(self) -> float:
+        """Combinational plus flop area of the original design."""
+        return self.comb_area + self.flop_area
+
+
+def original_flop_report(
+    netlist: Netlist,
+    scheme: ClockScheme,
+    library: Library,
+    model: str = "path",
+) -> FlopDesignReport:
+    """Table I row for a flop-based netlist.
+
+    A *near-critical endpoint* (NCE) is a master whose data arrival
+    falls inside the resiliency window, i.e. beyond ``Pi`` — these are
+    the flops that would need error detection without retiming.
+    """
+    engine = TimingEngine(netlist, library, model=model)
+    arrivals = engine.endpoint_arrivals()
+    nce = [
+        name
+        for name, value in arrivals.items()
+        if value > scheme.window_open + 1e-9
+    ]
+    return FlopDesignReport(
+        name=netlist.name,
+        max_path_delay=scheme.max_path_delay,
+        n_flops=len(netlist.flops()),
+        n_inputs=len(netlist.inputs()),
+        n_outputs=len(netlist.outputs()),
+        n_comb_gates=len(netlist.comb_gates()),
+        n_near_critical=len(nce),
+        worst_arrival=max(arrivals.values()) if arrivals else 0.0,
+        comb_area=netlist.comb_area(library),
+        flop_area=netlist.flop_area(library),
+    )
+
+
+def flop_resilient_area(
+    report: FlopDesignReport, library: Library, overhead: float
+) -> float:
+    """Estimated area of a *flop-based* resilient design (Section VI-D).
+
+    The paper estimates it by adding the EDL overhead to all
+    near-critical endpoints of the original flop design: each NCE flop
+    is replaced with an error-detecting flop of area
+    ``(1 + c) * ff_area``.
+    """
+    ff_area = library.default_flip_flop().area
+    return (
+        report.comb_area
+        + report.flop_area
+        + report.n_near_critical * overhead * ff_area
+    )

@@ -1,0 +1,148 @@
+"""Slave-latch placements as retiming labels.
+
+A placement assigns each cloud node ``v`` a retiming value
+``r(v) ∈ {-1, 0}`` (Section IV-B: slaves start at the stage inputs, so
+no other values are possible).  ``r(v) = -1`` means the slave latches
+have been moved forward through gate ``v``.  After retiming, edge
+``(u, v)`` carries a slave latch iff ``w(u, v) + r(v) - r(u) = 1``,
+where ``w`` is 1 on host→source edges and 0 elsewhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Set, Tuple
+
+from repro.netlist.netlist import GateType, Netlist
+
+#: The host node of the retiming graph (Section II-C).
+HOST = "__host__"
+
+
+@dataclass
+class SlavePlacement:
+    """Retiming labels ``r`` over the combinational cloud.
+
+    Only nodes with ``r = -1`` are stored; everything else (including
+    endpoints and the host, which are fixed at 0) is implicitly 0.
+    """
+
+    retimed: Set[str] = field(default_factory=set)
+
+    @staticmethod
+    def initial() -> "SlavePlacement":
+        """Slaves at the master outputs (pre-retiming position)."""
+        return SlavePlacement(retimed=set())
+
+    def r(self, name: str) -> int:
+        """The retiming label of ``name`` (-1 or 0)."""
+        return -1 if name in self.retimed else 0
+
+    def set_r(self, name: str, value: int) -> None:
+        """Assign the retiming label of ``name``."""
+        if value not in (-1, 0):
+            raise ValueError(f"r({name}) must be -1 or 0, got {value}")
+        if value == -1:
+            self.retimed.add(name)
+        else:
+            self.retimed.discard(name)
+
+    @staticmethod
+    def from_r(r_values: Dict[str, int]) -> "SlavePlacement":
+        """Build a placement from an explicit label mapping."""
+        bad = {k: v for k, v in r_values.items() if v not in (-1, 0)}
+        if bad:
+            raise ValueError(f"retiming values out of range: {bad}")
+        return SlavePlacement(
+            retimed={k for k, v in r_values.items() if v == -1}
+        )
+
+    # -- derived geometry --------------------------------------------------
+
+    def edge_weight_after(
+        self, netlist: Netlist, driver: str, sink: str
+    ) -> int:
+        """``w_r(u, v) = w(u, v) + r(v) - r(u)`` for a cloud edge.
+
+        A flop plays two roles: as a *driver* it is the retimable Q
+        source (its ``r`` applies); as a *sink* it is the fixed D
+        endpoint (``r = 0``), as are primary-output markers.
+        """
+        if driver == HOST:
+            # Host edges feed the *source* role of the sink (a flop's
+            # Q side), which is retimable.
+            return 1 + self.r(sink)
+        sink_gate = netlist[sink]
+        if sink_gate.gtype in (GateType.DFF, GateType.OUTPUT):
+            r_v = 0  # masters are fixed (D-endpoint role)
+        else:
+            r_v = self.r(sink)
+        return r_v - self.r(driver)
+
+    def latch_edges(self, netlist: Netlist) -> Iterator[Tuple[str, str]]:
+        """All edges carrying a slave latch after retiming.
+
+        Host edges feed every source (PI and flop Q); the remaining
+        edges are the combinational-cloud edges of the netlist.
+        """
+        for gate in netlist.sources():
+            if self.edge_weight_after(netlist, HOST, gate.name) == 1:
+                yield (HOST, gate.name)
+        for driver, sink in netlist.comb_edges():
+            if netlist[driver].gtype is GateType.OUTPUT:
+                continue
+            if self.edge_weight_after(netlist, driver, sink) == 1:
+                yield (driver, sink)
+
+    def latch_sites(self, netlist: Netlist) -> List[Tuple[str, int]]:
+        """Physical slave latches with fanout sharing applied.
+
+        One latch per *driver* suffices for all of its latched fanout
+        edges (Section II-C fanout sharing), except host edges: each
+        host→source edge is a distinct master's slave and cannot be
+        shared.  Returns ``(driver, fanout_count)`` pairs where driver
+        is the source name for host-edge latches.
+        """
+        sites: List[Tuple[str, int]] = []
+        seen_drivers: Dict[str, int] = {}
+        for driver, sink in self.latch_edges(netlist):
+            if driver == HOST:
+                sites.append((sink, 1))
+            else:
+                seen_drivers[driver] = seen_drivers.get(driver, 0) + 1
+        sites.extend(sorted(seen_drivers.items()))
+        return sites
+
+    def slave_count(self, netlist: Netlist) -> int:
+        """Number of physical slave latches after fanout sharing."""
+        return len(self.latch_sites(netlist))
+
+    def check_nonnegative(self, netlist: Netlist) -> List[Tuple[str, str]]:
+        """Edges whose retimed weight went negative (illegal moves).
+
+        A gate can only be retimed through (``r = -1``) when every one
+        of its fanin edges still carries a latch to move; otherwise
+        ``w_r`` would be negative.  Returns the offending edges.
+        """
+        bad: List[Tuple[str, str]] = []
+        for gate in netlist.sources():
+            if self.edge_weight_after(netlist, HOST, gate.name) < 0:
+                bad.append((HOST, gate.name))
+        for driver, sink in netlist.comb_edges():
+            if netlist[driver].gtype is GateType.OUTPUT:
+                continue
+            if self.edge_weight_after(netlist, driver, sink) < 0:
+                bad.append((driver, sink))
+        return bad
+
+    def copy(self) -> "SlavePlacement":
+        """An independent copy of this placement."""
+        return SlavePlacement(retimed=set(self.retimed))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SlavePlacement):
+            return NotImplemented
+        return self.retimed == other.retimed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SlavePlacement(retimed={len(self.retimed)} nodes)"

@@ -1,0 +1,21 @@
+"""Gate-level netlist model and ISCAS89 ``.bench`` I/O."""
+
+from repro.netlist.netlist import Gate, GateType, Netlist
+from repro.netlist.builder import NetlistBuilder
+from repro.netlist.bench import parse_bench, write_bench
+from repro.netlist.verilog import parse_verilog, write_verilog, verilog_text
+from repro.netlist.validate import NetlistError, validate
+
+__all__ = [
+    "Gate",
+    "GateType",
+    "Netlist",
+    "NetlistBuilder",
+    "parse_bench",
+    "write_bench",
+    "parse_verilog",
+    "write_verilog",
+    "verilog_text",
+    "NetlistError",
+    "validate",
+]

@@ -1,0 +1,153 @@
+"""ISCAS89 ``.bench`` format parser and writer.
+
+Format reference (pld.ttu.ee benchmark distribution)::
+
+    # comment
+    INPUT(G0)
+    OUTPUT(G17)
+    G10 = DFF(G14)
+    G11 = NAND(G0, G10)
+    G12 = NOT(G11)
+
+Gates are mapped onto library cells through
+:class:`~repro.netlist.builder.NetlistBuilder`, so wide gates are
+decomposed into trees exactly as a technology mapper would.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, TextIO, Tuple, Union
+
+from repro.cells.library import Library
+from repro.netlist.builder import NetlistBuilder
+from repro.netlist.netlist import Netlist
+
+_LINE_RE = re.compile(
+    r"^\s*(?:(?P<io>INPUT|OUTPUT)\s*\(\s*(?P<io_name>[^)\s]+)\s*\)"
+    r"|(?P<lhs>[^=\s]+)\s*=\s*(?P<func>[A-Za-z01]+)\s*"
+    r"\(\s*(?P<args>[^)]*)\)"
+    r")\s*$"
+)
+
+_FUNC_MAP = {
+    "AND": "AND",
+    "NAND": "NAND",
+    "OR": "OR",
+    "NOR": "NOR",
+    "XOR": "XOR",
+    "XNOR": "XNOR",
+    "NOT": "INV",
+    "INV": "INV",
+    "BUF": "BUF",
+    "BUFF": "BUF",
+    "DFF": "DFF",
+}
+
+
+class BenchParseError(ValueError):
+    """Raised on malformed ``.bench`` input."""
+
+
+def parse_bench(
+    source: Union[str, TextIO], library: Library, name: str = "bench"
+) -> Netlist:
+    """Parse ``.bench`` text (string or file object) into a netlist.
+
+    ``OUTPUT(x)`` markers become OUTPUT gates named ``x__po`` driven by
+    gate ``x`` (so a net can be both an output and an internal driver).
+    """
+    if hasattr(source, "read"):
+        text = source.read()
+    else:
+        text = source
+
+    inputs: List[str] = []
+    output_nets: List[str] = []
+    gate_lines: List[Tuple[str, str, List[str]]] = []
+
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        match = _LINE_RE.match(line)
+        if not match:
+            raise BenchParseError(f"line {line_no}: cannot parse {raw!r}")
+        if match.group("io"):
+            target = inputs if match.group("io") == "INPUT" else output_nets
+            target.append(match.group("io_name"))
+            continue
+        lhs = match.group("lhs")
+        func = match.group("func").upper()
+        if func not in _FUNC_MAP:
+            raise BenchParseError(
+                f"line {line_no}: unknown function {func!r}"
+            )
+        args = [a.strip() for a in match.group("args").split(",") if a.strip()]
+        if not args:
+            raise BenchParseError(f"line {line_no}: gate {lhs!r} has no fanin")
+        gate_lines.append((lhs, _FUNC_MAP[func], args))
+
+    builder = NetlistBuilder(name, library)
+    for pi in inputs:
+        builder.input(pi)
+    # Flops must exist before gates that read their Q; declare them
+    # first (their D drivers are resolved after all gates exist, which
+    # the Gate tuple model handles since fanins are by-name).
+    for lhs, func, args in gate_lines:
+        if func == "DFF":
+            if len(args) != 1:
+                raise BenchParseError(f"flop {lhs!r} needs one fanin")
+            builder.flop(lhs, args[0])
+    for lhs, func, args in gate_lines:
+        if func != "DFF":
+            builder.gate(lhs, func, args)
+    for po in output_nets:
+        builder.output(f"{po}__po", po)
+    return builder.build()
+
+
+def write_bench(netlist: Netlist, stream: TextIO) -> None:
+    """Serialize a netlist to ``.bench`` text.
+
+    Cell-level gates are written with their generic function; tree
+    helper gates (``__t``) are preserved as separate lines, which
+    round-trips exactly.
+    """
+    stream.write(f"# {netlist.name} — written by repro\n")
+    for gate in netlist.inputs():
+        stream.write(f"INPUT({gate.name})\n")
+    for gate in netlist.outputs():
+        stream.write(f"OUTPUT({gate.fanins[0]})\n")
+    for gate in netlist.flops():
+        stream.write(f"{gate.name} = DFF({gate.fanins[0]})\n")
+    for gate in netlist.comb_gates():
+        base = gate.cell.rsplit("_X", 1)[0] if gate.cell else "BUF"
+        func = {
+            "INV": "NOT",
+            "BUF": "BUFF",
+            "NAND2": "NAND",
+            "NAND3": "NAND",
+            "NOR2": "NOR",
+            "NOR3": "NOR",
+            "AND2": "AND",
+            "OR2": "OR",
+            "XOR2": "XOR",
+            "XNOR2": "XNOR",
+        }.get(base)
+        if func is None:
+            raise ValueError(
+                f"gate {gate.name!r} uses cell {gate.cell!r} with no "
+                f".bench equivalent"
+            )
+        args = ", ".join(gate.fanins)
+        stream.write(f"{gate.name} = {func}({args})\n")
+
+
+def bench_text(netlist: Netlist) -> str:
+    """Convenience: serialize to a string."""
+    import io
+
+    buffer = io.StringIO()
+    write_bench(netlist, buffer)
+    return buffer.getvalue()

@@ -1,0 +1,77 @@
+"""Structural validation of netlists against a library."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.cells.cell import CombCell
+from repro.cells.library import Library
+from repro.netlist.netlist import GateType, Netlist
+
+
+class NetlistError(ValueError):
+    """Raised when a netlist fails structural validation."""
+
+    def __init__(self, problems: List[str]) -> None:
+        self.problems = problems
+        super().__init__("; ".join(problems))
+
+
+def validate(netlist: Netlist, library: Library) -> None:
+    """Check structure: connectivity, cell existence, pin arity.
+
+    Raises :class:`NetlistError` listing every problem found.  The
+    combinational-cycle check happens implicitly via
+    :meth:`Netlist.topo_order`.
+    """
+    problems: List[str] = []
+
+    for gate in netlist:
+        for driver in gate.fanins:
+            if driver not in netlist:
+                problems.append(
+                    f"gate {gate.name!r}: missing driver {driver!r}"
+                )
+            elif netlist[driver].gtype is GateType.OUTPUT:
+                problems.append(
+                    f"gate {gate.name!r}: driven by output marker {driver!r}"
+                )
+        if gate.gtype is GateType.COMB:
+            if gate.cell not in library:
+                problems.append(
+                    f"gate {gate.name!r}: cell {gate.cell!r} not in library"
+                )
+                continue
+            cell = library[gate.cell]
+            if not isinstance(cell, CombCell):
+                problems.append(
+                    f"gate {gate.name!r}: cell {gate.cell!r} is not "
+                    f"combinational"
+                )
+            elif len(cell.inputs) != len(gate.fanins):
+                problems.append(
+                    f"gate {gate.name!r}: cell {gate.cell!r} has "
+                    f"{len(cell.inputs)} pins but {len(gate.fanins)} fanins"
+                )
+        if gate.gtype is GateType.DFF and gate.cell is not None:
+            if gate.cell not in library:
+                problems.append(
+                    f"flop {gate.name!r}: cell {gate.cell!r} not in library"
+                )
+
+    if problems:
+        raise NetlistError(problems)
+
+    try:
+        netlist.topo_order()
+    except (ValueError, KeyError) as exc:
+        raise NetlistError([str(exc)]) from exc
+
+
+def dangling_gates(netlist: Netlist) -> List[str]:
+    """Comb gates that drive nothing (dead logic)."""
+    return [
+        gate.name
+        for gate in netlist.comb_gates()
+        if not netlist.fanouts(gate.name)
+    ]

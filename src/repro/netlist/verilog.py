@@ -1,0 +1,185 @@
+"""Structural Verilog netlist I/O.
+
+The paper's flow moves netlists between the synthesis tool and the
+retimer as gate-level structural Verilog; this module writes and parses
+the subset such netlists use: one module, scalar wires, and cell
+instances with named port connections::
+
+    module s1196 (a, b, y);
+      input a, b;
+      output y;
+      wire n1;
+      NAND2_X1 g1 (.A(a), .B(b), .Z(n1));
+      DFF_X1 f1 (.D(n1), .CK(clk), .Q(f1_q));
+      ...
+    endmodule
+
+Writer and parser round-trip exactly (cell choices included), which is
+what the tests pin down.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, TextIO, Union
+
+from repro.cells.cell import CombCell, SequentialCell
+from repro.cells.library import Library
+from repro.netlist.netlist import Gate, GateType, Netlist
+
+
+class VerilogError(ValueError):
+    """Raised on malformed structural Verilog."""
+
+
+def write_verilog(
+    netlist: Netlist, library: Library, stream: TextIO
+) -> None:
+    """Serialize a netlist as structural Verilog."""
+    inputs = [g.name for g in netlist.inputs()]
+    outputs = [g.name for g in netlist.outputs()]
+    ports = inputs + outputs + ["clk"]
+
+    stream.write(f"module {netlist.name} ({', '.join(ports)});\n")
+    for name in inputs:
+        stream.write(f"  input {name};\n")
+    stream.write("  input clk;\n")
+    for name in outputs:
+        stream.write(f"  output {name};\n")
+
+    wires = [
+        g.name
+        for g in netlist
+        if g.gtype in (GateType.COMB, GateType.DFF)
+    ]
+    for name in wires:
+        stream.write(f"  wire {name};\n")
+
+    for gate in netlist:
+        if gate.gtype is GateType.COMB:
+            cell = library[gate.cell]
+            assert isinstance(cell, CombCell)
+            pins = ", ".join(
+                f".{pin}({driver})"
+                for pin, driver in zip(cell.inputs, gate.fanins)
+            )
+            stream.write(
+                f"  {cell.name} u_{gate.name} ({pins}, "
+                f".{cell.output}({gate.name}));\n"
+            )
+        elif gate.gtype is GateType.DFF:
+            cell_name = gate.cell or library.default_flip_flop().name
+            cell = library[cell_name]
+            assert isinstance(cell, SequentialCell)
+            stream.write(
+                f"  {cell.name} u_{gate.name} "
+                f"(.{cell.data_pin}({gate.fanins[0]}), "
+                f".{cell.clock_pin}(clk), "
+                f".{cell.output}({gate.name}));\n"
+            )
+    for gate in netlist.outputs():
+        stream.write(f"  assign {gate.name} = {gate.fanins[0]};\n")
+    stream.write("endmodule\n")
+
+
+def verilog_text(netlist: Netlist, library: Library) -> str:
+    """Serialize to a structural-Verilog string."""
+    import io
+
+    buffer = io.StringIO()
+    write_verilog(netlist, library, buffer)
+    return buffer.getvalue()
+
+
+_MODULE_RE = re.compile(
+    r"module\s+(?P<name>\w+)\s*\((?P<ports>[^)]*)\)\s*;", re.S
+)
+_DECL_RE = re.compile(r"(input|output|wire)\s+([^;]+);")
+_INSTANCE_RE = re.compile(
+    r"(?P<cell>[A-Za-z_][\w]*)\s+(?P<inst>[\w]+)\s*\("
+    r"(?P<conns>[^;]*?)\)\s*;",
+    re.S,
+)
+_PIN_RE = re.compile(r"\.(?P<pin>\w+)\s*\(\s*(?P<net>\w+)\s*\)")
+_ASSIGN_RE = re.compile(r"assign\s+(?P<lhs>\w+)\s*=\s*(?P<rhs>\w+)\s*;")
+
+
+def parse_verilog(
+    source: Union[str, TextIO], library: Library
+) -> Netlist:
+    """Parse structural Verilog produced by :func:`write_verilog`
+    (or any netlist using the same subset)."""
+    text = source.read() if hasattr(source, "read") else source
+    text = re.sub(r"//[^\n]*", "", text)
+    text = re.sub(r"/\*.*?\*/", "", text, flags=re.S)
+
+    module = _MODULE_RE.search(text)
+    if not module:
+        raise VerilogError("no module declaration found")
+    name = module.group("name")
+    body = text[module.end():]
+    end = body.find("endmodule")
+    if end < 0:
+        raise VerilogError("missing endmodule")
+    body = body[:end]
+
+    inputs: List[str] = []
+    outputs: List[str] = []
+    for kind, names in _DECL_RE.findall(body):
+        nets = [n.strip() for n in names.split(",") if n.strip()]
+        if kind == "input":
+            inputs.extend(nets)
+        elif kind == "output":
+            outputs.extend(nets)
+
+    assigns: Dict[str, str] = {}
+    for match in _ASSIGN_RE.finditer(body):
+        assigns[match.group("lhs")] = match.group("rhs")
+
+    netlist = Netlist(name)
+    for net in inputs:
+        if net == "clk":
+            continue
+        netlist.add(Gate(net, GateType.INPUT))
+
+    body_wo_assigns = _ASSIGN_RE.sub("", body)
+    body_wo_decls = _DECL_RE.sub("", body_wo_assigns)
+    for match in _INSTANCE_RE.finditer(body_wo_decls):
+        cell_name = match.group("cell")
+        if cell_name not in library:
+            raise VerilogError(f"unknown cell {cell_name!r}")
+        cell = library[cell_name]
+        pins = dict(_PIN_RE.findall(match.group("conns")))
+        if isinstance(cell, CombCell):
+            try:
+                fanins = tuple(pins[pin] for pin in cell.inputs)
+                out_net = pins[cell.output]
+            except KeyError as exc:
+                raise VerilogError(
+                    f"instance {match.group('inst')!r}: missing pin {exc}"
+                ) from None
+            netlist.add(
+                Gate(out_net, GateType.COMB, fanins, cell=cell.name)
+            )
+        elif isinstance(cell, SequentialCell):
+            try:
+                data = pins[cell.data_pin]
+                out_net = pins[cell.output]
+            except KeyError as exc:
+                raise VerilogError(
+                    f"instance {match.group('inst')!r}: missing pin {exc}"
+                ) from None
+            netlist.add(
+                Gate(out_net, GateType.DFF, (data,), cell=cell.name)
+            )
+        else:  # pragma: no cover - library has only these kinds
+            raise VerilogError(f"unsupported cell kind {cell_name!r}")
+
+    for net in outputs:
+        driver = assigns.get(net, net)
+        if driver == net:
+            raise VerilogError(f"output {net!r} has no assign driver")
+        netlist.add(Gate(net, GateType.OUTPUT, (driver,)))
+
+    netlist.topo_order()  # validate connectivity
+    return netlist

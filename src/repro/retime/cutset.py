@@ -1,0 +1,192 @@
+"""Per-master cut sets ``g(t)`` (Section IV-A).
+
+For a target master ``t``, ``g(t)`` is the frontier of gates such that
+moving all slave latches beyond ``g(t)`` makes every latch position in
+``t``'s fan-in cone satisfy ``A(u, v, t) <= Pi`` — so ``t`` need not be
+error-detecting.
+
+The computation walks backward from ``t`` (the paper's reverse DFS) and
+maintains the *safe region* ``R``: nodes all of whose downstream latch
+positions inside the cone are safe.  An edge that can never legally
+carry a latch (its driver is in ``Vn``, or its sink in ``Vm``) is
+vacuously safe.  ``g(t)`` is then the fan-in frontier of ``R``.  Three
+outcomes per endpoint:
+
+* ``NEVER`` — the whole cone is safe (frontier empty): the master is
+  non-error-detecting wherever the slaves go;
+* ``ALWAYS`` — some position adjacent to ``t`` cannot be made safe:
+  the master is error-detecting regardless of retiming (as far as the
+  encoding can prove — the paper's formulation is equally
+  conservative);
+* ``TARGET`` — the EDL status depends on the retiming: a pseudo node
+  ``P(t)`` with a ``-c`` credit edge enters the retiming graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, FrozenSet, Optional, Set
+
+from repro.latches.placement import HOST
+from repro.latches.resilient import EPS, TwoPhaseCircuit
+from repro.netlist.netlist import GateType
+from repro.retime.regions import Regions
+
+
+class EndpointClass(Enum):
+    """NEVER / ALWAYS / TARGET classification of a master."""
+    NEVER = "never"
+    ALWAYS = "always"
+    TARGET = "target"
+
+
+@dataclass(frozen=True)
+class CutSet:
+    """Classification and cut set of one endpoint."""
+
+    endpoint: str
+    kind: EndpointClass
+    gates: FrozenSet[str]
+
+    @property
+    def is_target(self) -> bool:
+        """True when a pseudo node P(t) should be created."""
+        return self.kind is EndpointClass.TARGET
+
+
+def _edge_can_carry_latch(
+    circuit: TwoPhaseCircuit, regions: Regions, driver: str, sink: str
+) -> bool:
+    """Whether edge ``(driver, sink)`` can hold a slave in some legal
+    retiming: it needs ``r(driver) = -1`` (host edges: ``r(sink) = 0``)
+    and ``r(sink) = 0``."""
+    if driver == HOST:
+        return sink not in regions.vm
+    if driver in regions.vn:
+        return False
+    sink_gate = circuit.netlist[sink]
+    if sink_gate.gtype in (GateType.OUTPUT, GateType.DFF):
+        # The sink is a fixed master (D-endpoint role, r = 0), so the
+        # edge is latchable whenever the driver can be retimed through.
+        return True
+    if sink in regions.vm:
+        return False
+    return True
+
+
+def compute_cut_set(
+    circuit: TwoPhaseCircuit,
+    regions: Regions,
+    endpoint: str,
+    limit: Optional[float] = None,
+) -> CutSet:
+    """Compute ``g(endpoint)`` with the safe-region reverse walk.
+
+    ``limit`` is the arrival bound a safe position must meet; it
+    defaults to ``Pi`` (the resiliency-window opening), which is the
+    G-RAR credit condition.  The timing-driven baseline and the VL
+    constraints reuse the same walk with their own bounds.
+    """
+    netlist = circuit.netlist
+    scheme = circuit.scheme
+    if limit is None:
+        limit = scheme.window_open
+    limit = limit + EPS
+
+    cone = netlist.fanin_cone(endpoint)
+    cone.discard(endpoint)
+
+    def edge_safe(driver: str, sink: str) -> bool:
+        if not _edge_can_carry_latch(circuit, regions, driver, sink):
+            return True  # vacuous: no latch can ever sit here
+        return circuit.arrival_through(driver, sink, endpoint) <= limit
+
+    # Safe region R, computed in reverse topological order: a node is
+    # in R when every cone fanout edge is safe and leads into R.
+    order = [n for n in netlist.topo_order() if n in cone]
+    in_r: Dict[str, bool] = {}
+    for name in reversed(order):
+        ok = True
+        for user in netlist.fanouts(name):
+            if user == endpoint:
+                if not edge_safe(name, endpoint):
+                    ok = False
+                    break
+                continue
+            if user not in cone:
+                continue
+            if netlist[user].gtype in (GateType.OUTPUT, GateType.DFF):
+                # D-pin of a different master: another stage's edge,
+                # irrelevant to this endpoint (the user is in the cone
+                # only through its Q role).
+                continue
+            if not (edge_safe(name, user) and in_r.get(user, False)):
+                ok = False
+                break
+        in_r[name] = ok
+
+    # The endpoint itself must be fully covered: every fanin edge safe
+    # with an R predecessor, otherwise the credit encoding cannot
+    # guarantee non-EDL status and t is (conservatively) always-EDL.
+    for driver in netlist[endpoint].fanins:
+        if not (edge_safe(driver, endpoint) and in_r.get(driver, False)):
+            return CutSet(endpoint, EndpointClass.ALWAYS, frozenset())
+
+    frontier: Set[str] = set()
+    for name in cone:
+        if not in_r.get(name, False):
+            continue
+        gate = netlist[name]
+        if gate.is_source:
+            if not edge_safe(HOST, name):
+                frontier.add(name)
+            continue
+        for driver in gate.fanins:
+            if not (edge_safe(driver, name) and in_r.get(driver, False)):
+                frontier.add(name)
+                break
+
+    if not frontier:
+        return CutSet(endpoint, EndpointClass.NEVER, frozenset())
+    if any(g in regions.vn for g in frontier):
+        # The credit needs every frontier gate retimed through, but a
+        # Vn member is pinned at r = 0: the credit is unreachable and
+        # the master is error-detecting regardless.
+        return CutSet(endpoint, EndpointClass.ALWAYS, frozenset())
+    return CutSet(endpoint, EndpointClass.TARGET, frozenset(frontier))
+
+
+def compute_cut_sets(
+    circuit: TwoPhaseCircuit,
+    regions: Regions,
+    limit: Optional[float] = None,
+) -> Dict[str, CutSet]:
+    """Cut sets for every endpoint of the circuit.
+
+    Endpoints whose plain combinational arrival already meets the
+    bound even from the initial latch position are fast-pathed as
+    ``NEVER`` without cone analysis (the common case on large
+    circuits).
+    """
+    results: Dict[str, CutSet] = {}
+    floor = circuit.scheme.slave_open + circuit.latch_ck_q
+    if limit is None:
+        limit = circuit.scheme.window_open
+    limit = limit + EPS
+    for endpoint in circuit.endpoint_names:
+        plain = circuit.engine.endpoint_arrival(endpoint)
+        # Quick accept: for any latch position on any path to t,
+        # A <= max(floor + tail, path_delay + d_q) <= the bound below,
+        # so when it meets Pi the endpoint is NEVER error-detecting and
+        # the expensive cone walk can be skipped.
+        bound = max(floor + plain, plain + circuit.latch_d_q)
+        if bound <= limit:
+            results[endpoint] = CutSet(
+                endpoint, EndpointClass.NEVER, frozenset()
+            )
+            continue
+        results[endpoint] = compute_cut_set(
+            circuit, regions, endpoint, limit=limit - EPS
+        )
+    return results

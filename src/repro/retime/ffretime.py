@@ -1,0 +1,379 @@
+"""Flop-level min-area retiming — the movable-master extension.
+
+Section V notes the VL approach trivially extends to moving master
+latches too: releasing the tool's do-not-retime constraint lets its
+retimer reposition the flops themselves.  Table IX evaluates this.
+
+This module implements that tool capability: classic Leiserson-Saxe
+min-area retiming of the *flop* netlist (each flop = master+slave
+pair), solved with the same network simplex and made timing-legal by
+lazy constraint generation — solve, check the longest register-free
+path against the period, add the violated path constraints, repeat.
+
+The retimed netlist is rebuilt with flop chains shared across fanouts
+(one chain per driver, tapped at each sink's depth), after which the
+ordinary fixed-master flows run on it.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.cells.library import Library
+from repro.netlist.netlist import Gate, GateType, Netlist
+from repro.retime.simplex import NetworkSimplex
+from repro.sta.delay_models import make_calculator
+
+HOST = "__ffhost__"
+
+
+@dataclass(frozen=True)
+class FfEdge:
+    """One flop-collapsed edge of the retiming graph."""
+    tail: str
+    head: str
+    weight: int  # flops currently on the connection
+
+
+@dataclass
+class FfRetimeResult:
+    """Outcome of a flop-level retiming."""
+    netlist: Netlist
+    r_values: Dict[str, int]
+    moved: int
+    flops_before: int
+    flops_after: int
+    rounds: int
+    runtime_s: float = 0.0
+
+    @property
+    def changed(self) -> bool:
+        """True when any flop actually moved."""
+        return self.moved > 0
+
+
+def _collapse_flops(netlist: Netlist) -> Tuple[List[FfEdge], Dict[str, str]]:
+    """Edges of the flop-retiming graph.
+
+    Walking back through DFF chains from every comb gate / PO fanin
+    yields edges ``(comb-or-PI, comb-or-PO, #flops)``.  Returns the
+    edges plus a map from each DFF name to its ultimate comb/PI driver
+    (used when rebuilding).
+    """
+    edges: List[FfEdge] = []
+    flop_driver: Dict[str, str] = {}
+
+    def resolve(name: str) -> Tuple[str, int]:
+        count = 0
+        current = name
+        while netlist[current].gtype is GateType.DFF:
+            count += 1
+            current = netlist[current].fanins[0]
+        return current, count
+
+    for gate in netlist:
+        if gate.gtype in (GateType.COMB, GateType.OUTPUT):
+            for fanin in gate.fanins:
+                driver, count = resolve(fanin)
+                edges.append(FfEdge(driver, gate.name, count))
+    for flop in netlist.flops():
+        driver, _ = resolve(flop.name)
+        flop_driver[flop.name] = driver
+    return edges, flop_driver
+
+
+def _path_constraints_for_period(
+    netlist: Netlist,
+    library: Library,
+    edges: Sequence[FfEdge],
+    r_values: Dict[str, int],
+    period: float,
+    model: str = "path",
+) -> List[Tuple[str, str, int]]:
+    """Violated-path constraints under the current labels.
+
+    Runs a register-free-path DP over the retimed weights: the arrival
+    at a gate resets to zero across an edge carrying a flop.  For every
+    point where the register-free delay exceeds ``period``, the worst
+    contributing path segment yields a constraint
+    ``r(seg_start) - r(seg_end) <= w_original(segment) - 1``.
+    """
+    calc = make_calculator(model, netlist, library)
+
+    def w_r(edge: FfEdge) -> int:
+        return (
+            edge.weight
+            + r_values.get(edge.head, 0)
+            - r_values.get(edge.tail, 0)
+        )
+
+    nodes: Set[str] = set()
+    zero_in: Dict[str, List[FfEdge]] = {}
+    indegree: Dict[str, int] = {}
+    all_in: Dict[str, List[FfEdge]] = {}
+    for edge in edges:
+        nodes.add(edge.tail)
+        nodes.add(edge.head)
+        all_in.setdefault(edge.head, []).append(edge)
+        if w_r(edge) == 0:
+            zero_in.setdefault(edge.head, []).append(edge)
+            indegree[edge.head] = indegree.get(edge.head, 0) + 1
+
+    # The register-free subgraph must be acyclic; a register-free cycle
+    # is a hard violation whose edges get flops forced back.
+    order: List[str] = [n for n in nodes if indegree.get(n, 0) == 0]
+    head = 0
+    seen: Set[str] = set(order)
+    zero_out: Dict[str, List[FfEdge]] = {}
+    for edge in edges:
+        if w_r(edge) == 0:
+            zero_out.setdefault(edge.tail, []).append(edge)
+    while head < len(order):
+        current = order[head]
+        head += 1
+        for edge in zero_out.get(current, []):
+            indegree[edge.head] -= 1
+            if indegree[edge.head] == 0 and edge.head not in seen:
+                seen.add(edge.head)
+                order.append(edge.head)
+    constraints: Set[Tuple[str, str, int]] = set()
+    if len(order) < len(nodes):
+        for edge in edges:
+            if w_r(edge) == 0 and (
+                edge.tail not in seen or edge.head not in seen
+            ):
+                constraints.add(
+                    (edge.tail, edge.head, max(0, edge.weight - 1))
+                )
+        return sorted(constraints)
+
+    def own_delay(name: str) -> float:
+        gate = netlist[name]
+        if not gate.is_comb:
+            return 0.0
+        return max(calc.edge_delay(d, name) for d in set(gate.fanins))
+
+    # arrival = longest register-free delay ending at the gate output;
+    # origin = the segment start realizing it plus the original flop
+    # count accumulated along the realizing segment.
+    arrival: Dict[str, float] = {}
+    origin: Dict[str, Tuple[str, int]] = {}
+    for name in order:
+        delay_here = own_delay(name)
+        best = delay_here
+        best_origin = (name, 0)
+        for edge in all_in.get(name, []):
+            if w_r(edge) >= 1:
+                continue  # the flop resets the register-free path
+            prev = arrival.get(edge.tail)
+            if prev is None:
+                continue
+            candidate = prev + delay_here
+            if candidate > best:
+                best = candidate
+                prev_origin, prev_w = origin[edge.tail]
+                best_origin = (prev_origin, prev_w + edge.weight)
+        arrival[name] = best
+        origin[name] = best_origin
+        if best > period + 1e-12:
+            seg_start, seg_w = best_origin
+            if seg_start != name:
+                constraints.add((seg_start, name, max(0, seg_w - 1)))
+    return sorted(constraints)
+
+
+def ff_retime_min_area(
+    netlist: Netlist,
+    library: Library,
+    period: float,
+    model: str = "path",
+    max_rounds: int = 8,
+    max_shift: int = 2,
+) -> FfRetimeResult:
+    """Min-area flop retiming subject to a max register-free delay."""
+    started = time.perf_counter()
+    edges, _ = _collapse_flops(netlist)
+    nodes = {HOST}
+    for edge in edges:
+        nodes.add(edge.tail)
+        nodes.add(edge.head)
+    # PIs and POs stay where they are (the environment is fixed).
+    fixed = {
+        g.name
+        for g in netlist
+        if g.gtype in (GateType.INPUT, GateType.OUTPUT)
+    }
+
+    from repro.retime.simplex import InfeasibleFlowError
+
+    extra: Set[Tuple[str, str, int]] = set()
+    r_values: Dict[str, int] = {name: 0 for name in nodes}
+    rounds = 0
+    for round_index in range(max_rounds):
+        rounds = round_index + 1
+        try:
+            r_values = _solve_ff_lp(edges, nodes, fixed, extra, max_shift)
+        except InfeasibleFlowError:
+            r_values = {name: 0 for name in nodes}
+            break
+        violated = _path_constraints_for_period(
+            netlist, library, edges, r_values, period, model
+        )
+        fresh = [c for c in violated if c not in extra]
+        if not fresh:
+            break
+        extra.update(fresh)
+    else:
+        # Could not close timing: fall back to the identity retiming.
+        r_values = {name: 0 for name in nodes}
+
+    moved = sum(1 for v in r_values.values() if v != 0)
+    new_netlist = (
+        apply_ff_retiming(netlist, library, edges, r_values)
+        if moved
+        else netlist.copy()
+    )
+    if moved and len(new_netlist.flops()) > len(netlist.flops()):
+        # The tool would not accept a retiming that worsens its own
+        # objective; keep the original positions.
+        r_values = {name: 0 for name in nodes}
+        moved = 0
+        new_netlist = netlist.copy()
+    return FfRetimeResult(
+        netlist=new_netlist,
+        r_values=r_values,
+        moved=moved,
+        flops_before=len(netlist.flops()),
+        flops_after=len(new_netlist.flops()),
+        rounds=rounds,
+        runtime_s=time.perf_counter() - started,
+    )
+
+
+def _solve_ff_lp(
+    edges: Sequence[FfEdge],
+    nodes: Set[str],
+    fixed: Set[str],
+    extra: Set[Tuple[str, str, int]],
+    max_shift: int,
+) -> Dict[str, int]:
+    """Min-area retiming labels via the min-cost-flow dual."""
+    # Fanout sharing: breadth 1/k per driver fanout edge (no mirror
+    # nodes here — flop chains are shared at rebuild time and the 1/k
+    # model is the classic approximation for this substrate).
+    fanout_count: Dict[str, int] = {}
+    for edge in edges:
+        fanout_count[edge.tail] = fanout_count.get(edge.tail, 0) + 1
+
+    arcs: List[Tuple[str, str, int]] = []
+    demands: Dict[str, Fraction] = {name: Fraction(0) for name in nodes}
+
+    def add_arc(tail: str, head: str, cost: int, breadth: Fraction) -> None:
+        arcs.append((tail, head, cost))
+        demands[tail] -= breadth
+        demands[head] += breadth
+
+    for edge in edges:
+        share = Fraction(1, fanout_count[edge.tail])
+        add_arc(edge.tail, edge.head, edge.weight, share)
+    for tail, head, bound in extra:
+        add_arc(tail, head, bound, Fraction(0))
+    for name in nodes:
+        if name == HOST:
+            continue
+        upper = 0 if name in fixed else max_shift
+        lower = 0 if name in fixed else -max_shift
+        add_arc(name, HOST, upper, Fraction(0))
+        add_arc(HOST, name, -lower, Fraction(0))
+
+    simplex = NetworkSimplex(sorted(nodes), arcs, demands)
+    result = simplex.solve()
+    host_pot = result.potentials[HOST]
+    return {name: result.potentials[name] - host_pot for name in nodes}
+
+
+def apply_ff_retiming(
+    netlist: Netlist,
+    library: Library,
+    edges: Sequence[FfEdge],
+    r_values: Dict[str, int],
+) -> Netlist:
+    """Rebuild the netlist with flops at their retimed positions."""
+    def w_r(edge: FfEdge) -> int:
+        value = (
+            edge.weight
+            + r_values.get(edge.head, 0)
+            - r_values.get(edge.tail, 0)
+        )
+        if value < 0:
+            raise ValueError(
+                f"illegal retiming: edge {edge.tail}->{edge.head} gets "
+                f"{value} flops"
+            )
+        return value
+
+    chain_depth: Dict[str, int] = {}
+    for edge in edges:
+        chain_depth[edge.tail] = max(
+            chain_depth.get(edge.tail, 0), w_r(edge)
+        )
+
+    ff_cell = library.default_flip_flop().name
+    rebuilt = Netlist(netlist.name)
+    for gate in netlist.inputs():
+        rebuilt.add(Gate(gate.name, GateType.INPUT))
+
+    def tap(driver: str, depth: int) -> str:
+        return driver if depth == 0 else f"{driver}__ff{depth}"
+
+    # Combinational gates keep their cells; each fanin is resolved to
+    # its original comb/PI driver and re-tapped at its retimed depth
+    # (per pin, so parallel edges with different flop counts survive).
+    def resolve(fanin: str) -> Tuple[str, int]:
+        count = 0
+        current = fanin
+        while netlist[current].gtype is GateType.DFF:
+            count += 1
+            current = netlist[current].fanins[0]
+        return current, count
+
+    for name in netlist.topo_order():
+        gate = netlist[name]
+        if gate.gtype is not GateType.COMB:
+            continue
+        taps = []
+        for fanin in gate.fanins:
+            driver, count = resolve(fanin)
+            depth = (
+                count
+                + r_values.get(name, 0)
+                - r_values.get(driver, 0)
+            )
+            taps.append(tap(driver, depth))
+        rebuilt.add(
+            Gate(name, GateType.COMB, tuple(taps), cell=gate.cell)
+        )
+
+    # Flop chains.
+    for driver, depth in sorted(chain_depth.items()):
+        for k in range(1, depth + 1):
+            rebuilt.add(
+                Gate(
+                    tap(driver, k),
+                    GateType.DFF,
+                    (tap(driver, k - 1),),
+                    cell=ff_cell,
+                )
+            )
+
+    for gate in netlist.outputs():
+        driver, count = resolve(gate.fanins[0])
+        depth = count + r_values.get(gate.name, 0) - r_values.get(driver, 0)
+        rebuilt.add(
+            Gate(gate.name, GateType.OUTPUT, (tap(driver, depth),))
+        )
+    rebuilt.topo_order()  # validate
+    return rebuilt

@@ -1,0 +1,62 @@
+"""Result container shared by all retiming flows."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, Optional, Set
+
+from repro.latches.placement import SlavePlacement
+from repro.latches.resilient import SequentialCost
+
+
+@dataclass
+class RetimingResult:
+    """Outcome of one retiming flow on one circuit."""
+
+    method: str
+    circuit_name: str
+    overhead: float
+    placement: SlavePlacement
+    edl_endpoints: Set[str]
+    cost: SequentialCost
+    #: Objective value reported by the solver (latch units, including
+    #: credits but excluding constants such as master base areas).
+    objective: Optional[Fraction] = None
+    comb_area: float = 0.0
+    runtime_s: float = 0.0
+    phase_runtimes: Dict[str, float] = field(default_factory=dict)
+    solver_iterations: int = 0
+    #: Endpoints predicted non-EDL via a taken P(t) credit.
+    credited_endpoints: Set[str] = field(default_factory=set)
+    notes: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def n_slaves(self) -> int:
+        """Number of physical slave latches."""
+        return self.cost.n_slaves
+
+    @property
+    def n_edl(self) -> int:
+        """Number of error-detecting masters."""
+        return self.cost.n_edl
+
+    @property
+    def sequential_area(self) -> float:
+        """Sequential-logic area in library units."""
+        return self.cost.area
+
+    @property
+    def total_area(self) -> float:
+        """Combinational plus sequential area."""
+        return self.comb_area + self.cost.area
+
+    def summary(self) -> str:
+        """One-line human-readable result summary."""
+        return (
+            f"{self.method}[{self.circuit_name}, c={self.overhead}]: "
+            f"slaves={self.n_slaves} edl={self.n_edl} "
+            f"seq_area={self.sequential_area:.2f} "
+            f"total_area={self.total_area:.2f} "
+            f"({self.runtime_s:.2f}s)"
+        )

@@ -1,0 +1,434 @@
+"""A network-simplex solver for uncapacitated min-cost flow.
+
+Solves::
+
+    min   sum_a cost(a) * x(a)
+    s.t.  inflow(v) - outflow(v) = demand(v)   for every node v
+          x(a) >= 0
+
+with integer arc costs and (possibly fractional) node demands — the
+exact shape of the retiming dual (eq. 14), whose demands are sums of
+fanout breadths ``1/k``.  Flows are kept as :class:`fractions.Fraction`
+so degenerate pivots never suffer round-off, and node potentials stay
+integral because all costs are integral — which is what guarantees the
+recovered retiming labels are integers (Section IV-D).
+
+The implementation is the textbook big-M artificial-root variant
+[Ahuja/Magnanti/Orlin ch. 11] with incremental tree re-rooting and a
+first-eligible entering rule with a Bland fallback for anti-cycling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+Node = Hashable
+Arc = Tuple[Node, Node, int]
+
+
+def _gcd(a: int, b: int) -> int:
+    while b:
+        a, b = b, a % b
+    return a
+
+
+class UnboundedFlowError(RuntimeError):
+    """The flow problem is unbounded (a negative-cost cycle with no
+    reverse-arc limit) — indicates a malformed retiming graph."""
+
+
+class InfeasibleFlowError(RuntimeError):
+    """No flow satisfies the node demands."""
+
+
+@dataclass
+class SimplexResult:
+    """Optimal flow, node potentials, and objective value."""
+
+    flows: Dict[int, Fraction]
+    potentials: Dict[Node, int]
+    objective: Fraction
+    iterations: int
+
+    def potential(self, node: Node) -> int:
+        """The node potential (dual value) of ``node``."""
+        return self.potentials[node]
+
+
+class NetworkSimplex:
+    """One solver instance per problem (not reusable)."""
+
+    def __init__(
+        self,
+        nodes: Sequence[Node],
+        arcs: Sequence[Arc],
+        demands: Dict[Node, Fraction],
+        max_iterations: Optional[int] = None,
+    ) -> None:
+        self.node_names = list(nodes)
+        self.n = len(self.node_names)
+        self.index = {name: i for i, name in enumerate(self.node_names)}
+        if len(self.index) != self.n:
+            raise ValueError("duplicate node names")
+
+        self.tail: List[int] = []
+        self.head: List[int] = []
+        self.cost: List[int] = []
+        for tail, head, cost in arcs:
+            self.tail.append(self.index[tail])
+            self.head.append(self.index[head])
+            self.cost.append(int(cost))
+        self.m = len(self.tail)
+
+        raw = [Fraction(0)] * self.n
+        total = Fraction(0)
+        for name, value in demands.items():
+            raw[self.index[name]] = Fraction(value)
+            total += Fraction(value)
+        if total != 0:
+            raise InfeasibleFlowError(
+                f"demands do not balance (sum = {total})"
+            )
+        # Scale demands to integers when the common denominator is
+        # small (it is the lcm of the fanout degrees): integer flow
+        # arithmetic is several times faster than Fractions and stays
+        # exact.  Potentials (the retiming labels) are scale-invariant.
+        scale = 1
+        for value in raw:
+            scale = scale * value.denominator // _gcd(scale, value.denominator)
+            if scale > 10**12:
+                scale = 0
+                break
+        if scale:
+            self.scale = scale
+            self.demand = [int(v * scale) for v in raw]
+        else:
+            self.scale = Fraction(1)
+            self.demand = raw
+        self.max_iterations = max_iterations or max(
+            200000, 50 * (self.m + self.n)
+        )
+
+    # -- public API -------------------------------------------------------
+
+    def solve(self) -> SimplexResult:
+        """Run pivots to optimality; returns flows and potentials."""
+        self._build_initial_tree()
+        iterations = 0
+        cursor = 0
+        bland = False
+        bland_switch = self.max_iterations // 2
+        while True:
+            entering = self._find_entering(cursor, bland)
+            if entering is None:
+                break
+            if not bland:
+                cursor = (entering + 1) % self.m
+            self._pivot(entering)
+            iterations += 1
+            if iterations == bland_switch:
+                bland = True  # anti-cycling fallback
+            if iterations > self.max_iterations:
+                raise RuntimeError(
+                    "network simplex exceeded iteration budget "
+                    f"({self.max_iterations})"
+                )
+        return self._extract(iterations)
+
+    # -- initial basis ------------------------------------------------------
+
+    def _build_initial_tree(self) -> None:
+        n, m = self.n, self.m
+        root = n  # artificial root node
+        cmax = max([abs(c) for c in self.cost], default=0)
+        big_m = 1 + (n + 1) * max(1, cmax)
+
+        # Artificial arcs: index m + v connects node v with the root.
+        self.art_tail: List[int] = []
+        self.art_head: List[int] = []
+        self.flow: Dict[int, Fraction] = {}
+        self.parent: List[int] = [root] * (n + 1)
+        self.parent_arc: List[int] = [-1] * (n + 1)
+        self.depth: List[int] = [1] * (n + 1)
+        self.pot: List[int] = [0] * (n + 1)
+        self.children: List[set] = [set() for _ in range(n + 1)]
+        self.big_m = big_m
+
+        self.parent[root] = -1
+        self.parent_arc[root] = -1
+        self.depth[root] = 0
+
+        for v in range(n):
+            arc_id = m + v
+            if self.demand[v] >= 0:
+                # Node needs inflow: artificial arc root -> v.
+                self.art_tail.append(root)
+                self.art_head.append(v)
+                self.flow[arc_id] = self.demand[v]
+                self.pot[v] = -big_m
+            else:
+                self.art_tail.append(v)
+                self.art_head.append(root)
+                self.flow[arc_id] = -self.demand[v]
+                self.pot[v] = big_m
+            self.parent[v] = root
+            self.parent_arc[v] = arc_id
+            self.children[root].add(v)
+        self.in_tree = set(range(m, m + n))
+
+    # -- arc helpers --------------------------------------------------------
+
+    def _arc_tail(self, arc: int) -> int:
+        if arc < self.m:
+            return self.tail[arc]
+        return self.art_tail[arc - self.m]
+
+    def _arc_head(self, arc: int) -> int:
+        if arc < self.m:
+            return self.head[arc]
+        return self.art_head[arc - self.m]
+
+    def _arc_cost(self, arc: int) -> int:
+        if arc < self.m:
+            return self.cost[arc]
+        return self.big_m
+
+    def _reduced_cost(self, arc: int) -> int:
+        return (
+            self._arc_cost(arc)
+            - self.pot[self._arc_tail(arc)]
+            + self.pot[self._arc_head(arc)]
+        )
+
+    # -- pivoting --------------------------------------------------------------
+
+    def _find_entering(self, cursor: int, bland: bool) -> Optional[int]:
+        """Entering-arc pricing.
+
+        Default: block search — scan a window from the rotating cursor
+        and take its most negative reduced cost (Dantzig-within-block,
+        a standard network-simplex compromise between pivot count and
+        pricing cost).  Bland mode: first eligible arc by index, which
+        guarantees termination under degeneracy.
+
+        Artificial arcs never re-enter: their big-M cost keeps their
+        reduced cost non-negative once they leave the basis.
+        """
+        m = self.m
+        if bland:
+            for arc in range(m):
+                if arc not in self.in_tree and self._reduced_cost(arc) < 0:
+                    return arc
+            return None
+        block = max(64, m // 40)
+        scanned = 0
+        position = cursor
+        while scanned < m:
+            best = None
+            best_rc = 0
+            upper = min(block, m - scanned)
+            for offset in range(upper):
+                arc = (position + offset) % m
+                if arc in self.in_tree:
+                    continue
+                rc = self._reduced_cost(arc)
+                if rc < best_rc:
+                    best_rc = rc
+                    best = arc
+            if best is not None:
+                return best
+            scanned += upper
+            position = (position + upper) % m
+        return None
+
+    def _cycle(self, entering: int):
+        """Arcs on the pivot cycle with their orientation.
+
+        Returns ``(forward, backward)`` arc-id lists: forward arcs gain
+        flow when pushing along the entering arc's direction, backward
+        arcs lose flow.
+        """
+        u = self._arc_tail(entering)
+        v = self._arc_head(entering)
+        forward = [entering]
+        backward: List[int] = []
+        a, b = u, v
+        # Walk both endpoints up to the least common ancestor.  On the
+        # tail side the cycle runs *toward* u (down the tree); on the
+        # head side it runs from v *up* the tree.
+        while a != b:
+            if self.depth[a] >= self.depth[b]:
+                arc = self.parent_arc[a]
+                if self._arc_tail(arc) == a:
+                    # arc points a -> parent; cycle traverses parent -> a.
+                    backward.append(arc)
+                else:
+                    forward.append(arc)
+                a = self.parent[a]
+            else:
+                arc = self.parent_arc[b]
+                if self._arc_tail(arc) == b:
+                    forward.append(arc)
+                else:
+                    backward.append(arc)
+                b = self.parent[b]
+        return forward, backward
+
+    def _pivot(self, entering: int) -> None:
+        forward, backward = self._cycle(entering)
+        if not backward:
+            raise UnboundedFlowError(
+                "pivot cycle has no reverse arc — unbounded problem"
+            )
+        theta = None
+        leaving = None
+        for arc in backward:
+            value = self.flow.get(arc, 0)
+            if theta is None or value < theta or (
+                value == theta and arc < leaving
+            ):
+                theta = value
+                leaving = arc
+        assert theta is not None and leaving is not None
+
+        if theta != 0:
+            for arc in forward:
+                self.flow[arc] = self.flow.get(arc, 0) + theta
+            for arc in backward:
+                self.flow[arc] = self.flow[arc] - theta
+        else:
+            self.flow.setdefault(entering, 0)
+
+        self._replace(leaving, entering)
+
+    def _replace(self, leaving: int, entering: int) -> None:
+        """Swap the leaving tree arc for the entering arc."""
+        # Child endpoint of the leaving arc (the deeper one).
+        lt, lh = self._arc_tail(leaving), self._arc_head(leaving)
+        child = lt if self.depth[lt] > self.depth[lh] else lh
+        parent = self.parent[child]
+        assert self.parent_arc[child] == leaving
+
+        # Detach the T2 subtree rooted at `child`.
+        self.children[parent].discard(child)
+        self.in_tree.discard(leaving)
+        self.flow.pop(leaving, None)
+
+        # Entering arc endpoints: exactly one lies in T2.
+        eu, ev = self._arc_tail(entering), self._arc_head(entering)
+        in_t2 = self._collect_subtree(child)
+        if eu in in_t2:
+            attach_t2, attach_t1 = eu, ev
+            delta = self._reduced_cost(entering)
+        else:
+            attach_t2, attach_t1 = ev, eu
+            delta = -self._reduced_cost(entering)
+
+        # Re-root T2 at attach_t2: reverse parent pointers on the path
+        # attach_t2 .. child.
+        path = []
+        node = attach_t2
+        while node != child:
+            path.append(node)
+            node = self.parent[node]
+        path.append(child)
+        # Capture the connecting arcs before mutating parent_arc.
+        path_arcs = [self.parent_arc[node] for node in path[:-1]]
+        for (lower, upper), arc in zip(zip(path, path[1:]), path_arcs):
+            # upper was lower's parent; flip the relationship.
+            self.children[upper].discard(lower)
+            self.parent[upper] = lower
+            self.parent_arc[upper] = arc
+            self.children[lower].add(upper)
+
+        self.parent[attach_t2] = attach_t1
+        self.parent_arc[attach_t2] = entering
+        self.children[attach_t1].add(attach_t2)
+        self.in_tree.add(entering)
+        self.flow.setdefault(entering, 0)
+
+        # Refresh depth and potentials of the re-rooted subtree.
+        stack = [attach_t2]
+        while stack:
+            node = stack.pop()
+            par = self.parent[node]
+            self.depth[node] = self.depth[par] + 1
+            self.pot[node] += delta
+            stack.extend(self.children[node])
+
+    def _collect_subtree(self, root_node: int) -> set:
+        seen = {root_node}
+        stack = [root_node]
+        while stack:
+            node = stack.pop()
+            for kid in self.children[node]:
+                if kid not in seen:
+                    seen.add(kid)
+                    stack.append(kid)
+        return seen
+
+    # -- extraction ------------------------------------------------------------
+
+    def _extract(self, iterations: int) -> SimplexResult:
+        for v in range(self.n):
+            arc_id = self.m + v
+            if arc_id in self.in_tree and self.flow.get(arc_id, 0) != 0:
+                raise InfeasibleFlowError(
+                    f"artificial arc at node {self.node_names[v]!r} "
+                    f"carries flow — demands unreachable"
+                )
+        # Scale flows back to the caller's (possibly fractional) units.
+        flows = {
+            arc: Fraction(value, 1) / self.scale
+            for arc, value in self.flow.items()
+            if arc < self.m and value != 0
+        }
+        objective = sum(
+            (value * self.cost[arc] for arc, value in flows.items()),
+            Fraction(0),
+        )
+        # Normalize potentials to the artificial root at 0; callers
+        # re-normalize to their own host node.
+        potentials = {
+            name: self.pot[i] for i, name in enumerate(self.node_names)
+        }
+        return SimplexResult(
+            flows=flows,
+            potentials=potentials,
+            objective=objective,
+            iterations=iterations,
+        )
+
+    # -- verification (used by tests) -----------------------------------------
+
+    def verify(self, result: SimplexResult) -> List[str]:
+        """Check conservation and optimality conditions."""
+        problems: List[str] = []
+        balance = [Fraction(0)] * self.n
+        for arc, value in result.flows.items():
+            if value < 0:
+                problems.append(f"arc {arc} has negative flow {value}")
+            balance[self.tail[arc]] -= value
+            balance[self.head[arc]] += value
+        for v in range(self.n):
+            expected = Fraction(self.demand[v], 1) / self.scale
+            if balance[v] != expected:
+                problems.append(
+                    f"node {self.node_names[v]!r}: balance {balance[v]} "
+                    f"!= demand {expected}"
+                )
+        for arc in range(self.m):
+            rc = (
+                self.cost[arc]
+                - result.potentials[self.node_names[self.tail[arc]]]
+                + result.potentials[self.node_names[self.head[arc]]]
+            )
+            if rc < 0:
+                problems.append(f"arc {arc} has negative reduced cost {rc}")
+            if rc > 0 and result.flows.get(arc, Fraction(0)) != 0:
+                problems.append(
+                    f"arc {arc} violates complementary slackness"
+                )
+        return problems

@@ -1,0 +1,251 @@
+"""Event-driven (transport-delay) gate-level logic simulation.
+
+Each net carries a :class:`Waveform`: an initial value plus a sorted
+list of ``(time, value)`` transitions within the current clock cycle.
+Gates are evaluated in topological order; every input event time is a
+candidate output event, delayed by the per-pin arc delay of the causing
+input (the same load/slew-aware delays STA uses, so simulated arrivals
+match the timing engine's to first order).
+
+Slave latches transform the waveform on their edge: data waits for the
+transparency opening (CK->Q) and flows through during transparency
+(D->Q); transitions after the closing edge are dropped (the design's
+constraints (6)/(7) guarantee stabilization — a violation here would
+be a real silicon failure and is reported).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.cells.cell import CombCell
+from repro.latches.placement import HOST, SlavePlacement
+from repro.latches.resilient import TwoPhaseCircuit
+from repro.netlist.netlist import Gate, GateType
+
+
+@dataclass
+class Waveform:
+    """Piecewise-constant 0/1 signal over one clock cycle."""
+
+    initial: int
+    #: Sorted, deduplicated transitions (time, new_value).
+    events: List[Tuple[float, int]] = field(default_factory=list)
+
+    def value_at(self, time: float) -> int:
+        """Signal value at ``time`` (transitions are inclusive)."""
+        value = self.initial
+        for when, new_value in self.events:
+            if when <= time:
+                value = new_value
+            else:
+                break
+        return value
+
+    @property
+    def final(self) -> int:
+        """The settled value at the end of the cycle."""
+        return self.events[-1][1] if self.events else self.initial
+
+    def transition_times(self) -> List[float]:
+        """Times of *actual* value changes (pruned of null events)."""
+        times = []
+        value = self.initial
+        for when, new_value in self.events:
+            if new_value != value:
+                times.append(when)
+                value = new_value
+        return times
+
+    @staticmethod
+    def constant(value: int) -> "Waveform":
+        """A waveform that never changes."""
+        return Waveform(initial=int(bool(value)))
+
+    @staticmethod
+    def step(initial: int, time: float, value: int) -> "Waveform":
+        """A waveform with at most one transition at ``time``."""
+        wave = Waveform(initial=int(bool(initial)))
+        if value != initial:
+            wave.events.append((time, int(bool(value))))
+        return wave
+
+    def normalized(self) -> "Waveform":
+        """Collapse events to actual changes, keeping them sorted."""
+        out = Waveform(initial=self.initial)
+        value = self.initial
+        for when, new_value in sorted(self.events):
+            if new_value != value:
+                out.events.append((when, new_value))
+                value = new_value
+        return out
+
+
+def _append_preempt(
+    events: List[Tuple[float, int]], when: float, value: int
+) -> None:
+    """Schedule an output event with preemption semantics.
+
+    A later input change supersedes any output transition it would
+    overtake: unequal rise/fall delays can put a newer event *before*
+    an older one on the time axis, and the stale event must not
+    survive (VHDL transport scheduling does the same cancellation).
+    """
+    while events and events[-1][0] >= when:
+        events.pop()
+    events.append((when, value))
+
+
+class TimedSimulator:
+    """One-cycle waveform evaluation over the combinational cloud."""
+
+    def __init__(
+        self,
+        circuit: TwoPhaseCircuit,
+        max_events_per_net: int = 64,
+    ) -> None:
+        if circuit.library is None:
+            raise ValueError("simulation needs a library")
+        self.circuit = circuit
+        self.netlist = circuit.netlist
+        self.library = circuit.library
+        self.max_events_per_net = max_events_per_net
+        self._order = [
+            name
+            for name in self.netlist.topo_order()
+            if self.netlist[name].is_comb
+        ]
+
+    # -- gate evaluation ---------------------------------------------------
+
+    def _evaluate_gate(
+        self, gate: Gate, inputs: Sequence[Waveform]
+    ) -> Waveform:
+        cell = self.library[gate.cell]
+        assert isinstance(cell, CombCell)
+        calc = self.circuit.engine.calculator
+        load = calc.load(gate.name)
+
+        # Candidate event times: every input change.
+        candidate_times: List[float] = []
+        for wave in inputs:
+            candidate_times.extend(wave.transition_times())
+        candidate_times = sorted(set(candidate_times))
+        if len(candidate_times) > self.max_events_per_net:
+            candidate_times = candidate_times[: self.max_events_per_net]
+
+        initial = cell.evaluate([w.initial for w in inputs])
+        out = Waveform(initial=initial)
+        for when in candidate_times:
+            values = [w.value_at(when) for w in inputs]
+            new_value = cell.evaluate(values)
+            # The causing pins are those that changed at `when`; the
+            # output event is delayed by the slowest of their arcs,
+            # evaluated at the driver's propagated slew so simulated
+            # arrivals track the timing engine's.
+            delay = 0.0
+            for pin, fanin, wave in zip(cell.inputs, gate.fanins, inputs):
+                if not wave.events:
+                    continue
+                if any(abs(t - when) < 1e-15 for t, _ in wave.events):
+                    arc_delay = cell.arc(pin).delay_for_output_edge(
+                        rising_output=bool(new_value),
+                        load=load,
+                        input_slew=calc.slew(fanin),
+                    )
+                    delay = max(delay, arc_delay)
+            _append_preempt(out.events, when + delay, new_value)
+        return out.normalized()
+
+    def _latch_transform(
+        self, wave: Waveform, held: int
+    ) -> Waveform:
+        """Apply a slave latch to a waveform.
+
+        The latch holds ``held`` until it opens; at the opening edge it
+        samples its input (CK->Q), then passes transitions during
+        transparency (D->Q) and goes opaque at the closing edge.
+        """
+        scheme = self.circuit.scheme
+        t_open = scheme.slave_open
+        t_close = scheme.slave_close
+        ck_q = self.circuit.latch_ck_q
+        d_q = self.circuit.latch_d_q
+
+        out = Waveform(initial=held)
+        opening_value = wave.value_at(t_open)
+        if opening_value != held:
+            out.events.append((t_open + ck_q, opening_value))
+        for when, value in wave.events:
+            if t_open < when <= t_close:
+                # Preemption: a transparent event can undercut the
+                # opening-edge event when CK->Q exceeds its D->Q lag.
+                _append_preempt(out.events, when + d_q, value)
+        return out.normalized()
+
+    # -- cycle evaluation -----------------------------------------------------
+
+    def run_cycle(
+        self,
+        launch_values: Mapping[str, int],
+        placement: SlavePlacement,
+        latch_state: Dict[str, int],
+    ) -> Dict[str, Waveform]:
+        """Evaluate one clock cycle.
+
+        ``launch_values`` gives the value each source (PI / master Q)
+        launches at time 0; the previous cycle's value is taken from
+        ``latch_state`` under key ``"src:<name>"``.  Latched edges read
+        and update their held value in ``latch_state`` under key
+        ``"latch:<driver>:<sink>"``.
+
+        Returns the waveform of every net, with endpoint waveforms
+        (flop D / PO) included under the endpoint name.
+        """
+        netlist = self.netlist
+        waves: Dict[str, Waveform] = {}
+        latched_out: Dict[Tuple[str, str], Waveform] = {}
+
+        def edge_wave(driver: str, sink: str) -> Waveform:
+            if placement.edge_weight_after(netlist, driver, sink) != 1:
+                return waves[driver]
+            key = (driver, sink)
+            cached = latched_out.get(key)
+            if cached is None:
+                held = latch_state.get(f"latch:{driver}:{sink}", 0)
+                cached = self._latch_transform(waves[driver], held)
+                latched_out[key] = cached
+            return cached
+
+        for gate in netlist.sources():
+            name = gate.name
+            previous = latch_state.get(f"src:{name}", 0)
+            value = int(bool(launch_values.get(name, previous)))
+            wave = Waveform.step(previous, 0.0, value)
+            if placement.edge_weight_after(netlist, HOST, name) == 1:
+                held = latch_state.get(f"latch:{HOST}:{name}", 0)
+                wave = self._latch_transform(wave, held)
+                latch_state[f"latch:{HOST}:{name}"] = wave.final
+            waves[name] = wave
+            latch_state[f"src:{name}"] = value
+
+        for name in self._order:
+            gate = netlist[name]
+            inputs = [edge_wave(driver, name) for driver in gate.fanins]
+            waves[name] = self._evaluate_gate(gate, inputs)
+
+        results: Dict[str, Waveform] = dict(waves)
+        for gate in netlist.endpoints():
+            driver = gate.fanins[0] if gate.fanins else None
+            if gate.gtype is GateType.DFF:
+                results[f"{gate.name}::d"] = edge_wave(driver, gate.name)
+            else:
+                results[gate.name] = edge_wave(driver, gate.name)
+
+        # Update held values of cloud latches for the next cycle.
+        for (driver, sink), wave in latched_out.items():
+            latch_state[f"latch:{driver}:{sink}"] = wave.value_at(
+                self.circuit.scheme.slave_close
+            )
+        return results

@@ -1,0 +1,85 @@
+"""VCD (value-change dump) export of simulated waveforms.
+
+Lets a downstream user open one simulated clock cycle in GTKWave and
+see the resiliency window violations the error-rate estimator counts.
+Times are scaled to integer femtoseconds (delays are nanoseconds).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, TextIO, Tuple
+
+from repro.sim.logicsim import Waveform
+
+_TIME_SCALE = 1_000_000  # ns -> fs
+
+
+def _identifiers() -> Iterable[str]:
+    """Short printable VCD identifiers: !, ", #, ... then pairs."""
+    alphabet = [chr(c) for c in range(33, 127)]
+    for char in alphabet:
+        yield char
+    for first in alphabet:
+        for second in alphabet:
+            yield first + second
+
+
+def write_vcd(
+    waves: Dict[str, Waveform],
+    stream: TextIO,
+    module: str = "repro",
+    signals: Optional[List[str]] = None,
+    timescale: str = "1fs",
+) -> None:
+    """Dump waveforms (one clock cycle) as a VCD file.
+
+    ``signals`` selects and orders the dumped nets; default is every
+    waveform, sorted by name.
+    """
+    names = signals if signals is not None else sorted(waves)
+    idents: Dict[str, str] = {}
+    pool = _identifiers()
+    for name in names:
+        if name not in waves:
+            raise KeyError(f"no waveform for {name!r}")
+        idents[name] = next(pool)
+
+    stream.write("$date repro simulation $end\n")
+    stream.write(f"$timescale {timescale} $end\n")
+    stream.write(f"$scope module {module} $end\n")
+    for name in names:
+        safe = name.replace(" ", "_")
+        stream.write(f"$var wire 1 {idents[name]} {safe} $end\n")
+    stream.write("$upscope $end\n$enddefinitions $end\n")
+
+    stream.write("#0\n$dumpvars\n")
+    for name in names:
+        stream.write(f"{waves[name].initial}{idents[name]}\n")
+    stream.write("$end\n")
+
+    events: List[Tuple[int, str, int]] = []
+    for name in names:
+        value = waves[name].initial
+        for when, new_value in waves[name].events:
+            if new_value != value:
+                events.append(
+                    (int(round(when * _TIME_SCALE)), idents[name], new_value)
+                )
+                value = new_value
+    events.sort(key=lambda item: item[0])
+
+    current_time = 0
+    for when, ident, value in events:
+        if when != current_time:
+            stream.write(f"#{when}\n")
+            current_time = when
+        stream.write(f"{value}{ident}\n")
+
+
+def vcd_text(waves: Dict[str, Waveform], **kwargs) -> str:
+    """Convenience: dump to a string."""
+    import io
+
+    buffer = io.StringIO()
+    write_vcd(waves, buffer, **kwargs)
+    return buffer.getvalue()

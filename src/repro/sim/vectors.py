@@ -1,0 +1,41 @@
+"""Input-vector sources for the error-rate simulation."""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterator, Sequence
+
+
+class VectorSource:
+    """Deterministic random 0/1 vectors for a set of input names."""
+
+    def __init__(
+        self,
+        names: Sequence[str],
+        seed: int = 2017,
+        toggle_probability: float = 0.5,
+    ) -> None:
+        if not 0.0 <= toggle_probability <= 1.0:
+            raise ValueError("toggle_probability must be in [0, 1]")
+        self.names = list(names)
+        self.rng = random.Random(seed)
+        self.toggle_probability = toggle_probability
+        self._current: Dict[str, int] = {
+            name: self.rng.randint(0, 1) for name in self.names
+        }
+
+    def next_vector(self) -> Dict[str, int]:
+        """A fresh vector; each input toggles with the set probability."""
+        for name in self.names:
+            if self.rng.random() < self.toggle_probability:
+                self._current[name] ^= 1
+        return dict(self._current)
+
+
+def random_vectors(
+    names: Sequence[str], count: int, seed: int = 2017
+) -> Iterator[Dict[str, int]]:
+    """``count`` random vectors over ``names``."""
+    source = VectorSource(names, seed=seed)
+    for _ in range(count):
+        yield source.next_vector()

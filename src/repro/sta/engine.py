@@ -1,0 +1,260 @@
+"""The timing engine: forward arrivals, backward delays, endpoints.
+
+Terminology follows the paper (Section III):
+
+* ``D^f(u)`` — maximum delay from any stage source (master latch / PI)
+  to the *output* of gate ``u``;
+* ``D^b(v, t)`` — maximum delay from the output of gate ``v`` to the
+  endpoint ``t`` (a master latch D pin or primary output), computed
+  backward from ``t``;
+* endpoint arrival — ``max_u D^f(u)`` over the endpoint's fanins.
+
+Sources launch at time 0 by default (the paper's convention: a master
+always propagates data at time 0), with optional per-source offsets.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional
+
+from repro.cells.library import Library
+from repro.netlist.netlist import Gate, GateType, Netlist
+from repro.sta.delay_models import (
+    DelayCalculator,
+    PathBasedCalculator,
+    make_calculator,
+)
+from repro.sta.loads import LoadModel
+
+NEG_INF = float("-inf")
+
+
+class TimingEngine:
+    """Answers the timing queries of the retiming flows.
+
+    All results are cached and recomputed lazily after
+    :meth:`invalidate` (called by the sizing engine after cell swaps).
+    """
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        library: Optional[Library],
+        model: str = "path",
+        load_model: Optional[LoadModel] = None,
+        source_offsets: Optional[Mapping[str, float]] = None,
+        calculator: Optional[DelayCalculator] = None,
+    ) -> None:
+        self.netlist = netlist
+        self.library = library
+        if calculator is not None:
+            self.calculator = calculator
+        else:
+            if library is None:
+                raise ValueError("library required unless calculator given")
+            self.calculator = make_calculator(
+                model, netlist, library, load_model
+            )
+        self.source_offsets = dict(source_offsets or {})
+        self._forward: Optional[Dict[str, float]] = None
+        self._backward_any: Optional[Dict[str, float]] = None
+        self._backward_to: Dict[str, Dict[str, float]] = {}
+
+    # -- cache management ----------------------------------------------
+
+    def invalidate(self) -> None:
+        """Drop all timing caches (after sizing)."""
+        self.calculator.invalidate()
+        self._forward = None
+        self._backward_any = None
+        self._backward_to.clear()
+
+    # -- forward timing --------------------------------------------------
+
+    def _source_offset(self, name: str) -> float:
+        return self.source_offsets.get(name, 0.0)
+
+    def _compute_forward(self) -> Dict[str, float]:
+        calc = self.calculator
+        if isinstance(calc, PathBasedCalculator):
+            return self._compute_forward_rf()
+        arrivals: Dict[str, float] = {}
+        for name in self.netlist.topo_order():
+            gate = self.netlist[name]
+            if gate.is_source:
+                arrivals[name] = self._source_offset(name)
+            elif gate.gtype is GateType.OUTPUT:
+                continue
+            else:
+                arrivals[name] = max(
+                    arrivals[d] + calc.edge_delay(d, name)
+                    for d in gate.fanins
+                )
+        return arrivals
+
+    def _compute_forward_rf(self) -> Dict[str, float]:
+        """Two-state (rise/fall) forward DP for the path-based model."""
+        calc = self.calculator
+        assert isinstance(calc, PathBasedCalculator)
+        rise: Dict[str, float] = {}
+        fall: Dict[str, float] = {}
+        for name in self.netlist.topo_order():
+            gate = self.netlist[name]
+            if gate.is_source:
+                offset = self._source_offset(name)
+                rise[name] = offset
+                fall[name] = offset
+                continue
+            if gate.gtype is GateType.OUTPUT:
+                continue
+            best_rise = NEG_INF
+            best_fall = NEG_INF
+            for driver in set(gate.fanins):
+                for in_rising, out_rising, delay in calc.transition_edges(
+                    driver, name
+                ):
+                    base = rise[driver] if in_rising else fall[driver]
+                    if base == NEG_INF:
+                        continue
+                    candidate = base + delay
+                    if out_rising:
+                        best_rise = max(best_rise, candidate)
+                    else:
+                        best_fall = max(best_fall, candidate)
+            rise[name] = best_rise
+            fall[name] = best_fall
+        return {
+            name: max(rise[name], fall[name])
+            for name in rise
+        }
+
+    def forward_arrival(self, name: str) -> float:
+        """``D^f``: latest arrival at the output of gate ``name``."""
+        if self._forward is None:
+            self._forward = self._compute_forward()
+        try:
+            return self._forward[name]
+        except KeyError:
+            raise KeyError(f"no forward arrival for {name!r}") from None
+
+    def endpoint_arrival(self, endpoint: str) -> float:
+        """Latest data arrival at an endpoint (flop D pin / PO)."""
+        gate = self.netlist[endpoint]
+        if gate.gtype not in (GateType.OUTPUT, GateType.DFF):
+            raise ValueError(f"{endpoint!r} is not an endpoint")
+        return max(self.forward_arrival(d) for d in gate.fanins)
+
+    # -- backward timing ---------------------------------------------------
+
+    def _reverse_topo(self) -> List[str]:
+        return list(reversed(self.netlist.topo_order()))
+
+    def _compute_backward_any(self) -> Dict[str, float]:
+        calc = self.calculator
+        netlist = self.netlist
+        result: Dict[str, float] = {}
+        for name in self._reverse_topo():
+            best = NEG_INF
+            for user_name in netlist.fanouts(name):
+                user = netlist[user_name]
+                if user.gtype in (GateType.OUTPUT, GateType.DFF):
+                    best = max(best, 0.0)
+                else:
+                    downstream = result.get(user_name, NEG_INF)
+                    if downstream != NEG_INF:
+                        best = max(
+                            best,
+                            calc.edge_delay(name, user_name) + downstream,
+                        )
+            result[name] = best
+        return result
+
+    def max_backward(self, name: str) -> float:
+        """``max_t D^b(name, t)`` over all endpoints (-inf if none)."""
+        if self._backward_any is None:
+            self._backward_any = self._compute_backward_any()
+        return self._backward_any.get(name, NEG_INF)
+
+    def _compute_backward_to(self, endpoint: str) -> Dict[str, float]:
+        gate = self.netlist[endpoint]
+        if gate.gtype not in (GateType.OUTPUT, GateType.DFF):
+            raise ValueError(f"{endpoint!r} is not an endpoint")
+        cone = self.netlist.fanin_cone(endpoint)
+        calc = self.calculator
+        netlist = self.netlist
+        result: Dict[str, float] = {endpoint: 0.0}
+        for name in self._reverse_topo():
+            if name not in cone or name == endpoint:
+                continue
+            best = NEG_INF
+            for user_name in netlist.fanouts(name):
+                if user_name == endpoint:
+                    best = max(best, 0.0)
+                    continue
+                if user_name not in cone:
+                    continue
+                user = netlist[user_name]
+                if user.gtype in (GateType.OUTPUT, GateType.DFF):
+                    continue  # a different endpoint
+                downstream = result.get(user_name, NEG_INF)
+                if downstream != NEG_INF:
+                    best = max(
+                        best, calc.edge_delay(name, user_name) + downstream
+                    )
+            result[name] = best
+        return result
+
+    def backward_delay(self, name: str, endpoint: str) -> float:
+        """``D^b(name, endpoint)``; -inf when no path exists."""
+        table = self._backward_to.get(endpoint)
+        if table is None:
+            table = self._compute_backward_to(endpoint)
+            self._backward_to[endpoint] = table
+        return table.get(name, NEG_INF)
+
+    # -- convenience ---------------------------------------------------------
+
+    def edge_delay(self, driver: str, sink: str) -> float:
+        """Scalar delay of ``sink`` driven from ``driver``."""
+        return self.calculator.edge_delay(driver, sink)
+
+    def endpoints(self) -> List[Gate]:
+        """The endpoint gates (flop Ds and PO markers)."""
+        return self.netlist.endpoints()
+
+    def endpoint_arrivals(self) -> Dict[str, float]:
+        """Latest data arrival of every endpoint."""
+        return {
+            gate.name: self.endpoint_arrival(gate.name)
+            for gate in self.endpoints()
+        }
+
+    def worst_arrival(self) -> float:
+        """The largest endpoint arrival (the critical delay)."""
+        arrivals = self.endpoint_arrivals()
+        return max(arrivals.values()) if arrivals else 0.0
+
+    def near_critical_endpoints(
+        self, window_open: float, window_close: Optional[float] = None
+    ) -> List[str]:
+        """Endpoints whose arrival falls after ``window_open``.
+
+        With ``window_close`` given, arrivals beyond it are *violations*
+        rather than near-critical and are still included (callers that
+        need the distinction use :meth:`violations`).
+        """
+        names = []
+        for gate in self.endpoints():
+            arrival = self.endpoint_arrival(gate.name)
+            if arrival > window_open + 1e-12:
+                names.append(gate.name)
+        return names
+
+    def violations(self, limit: float) -> Dict[str, float]:
+        """Endpoints whose arrival exceeds ``limit`` and by how much."""
+        out: Dict[str, float] = {}
+        for gate in self.endpoints():
+            arrival = self.endpoint_arrival(gate.name)
+            if arrival > limit + 1e-12:
+                out[gate.name] = arrival - limit
+        return out

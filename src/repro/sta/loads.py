@@ -1,0 +1,66 @@
+"""Net load and slew estimation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.cells.cell import CombCell, SequentialCell
+from repro.cells.library import Library
+from repro.netlist.netlist import GateType, Netlist
+
+
+@dataclass(frozen=True)
+class LoadModel:
+    """Wire-load model: a fixed capacitance per fanout connection.
+
+    Matches the pre-layout wire-load tables synthesis tools use: load
+    of a net = sum of sink pin capacitances + ``wire_cap_per_fanout``
+    per connection.
+    """
+
+    wire_cap_per_fanout: float = 0.40
+    #: Capacitance presented by a primary-output pad.
+    output_pin_cap: float = 2.0
+    #: Slew assumed at primary inputs / latch outputs.
+    source_slew: float = 0.020
+
+    def net_load(self, netlist: Netlist, library: Library, driver: str) -> float:
+        """Total load on the net driven by ``driver``."""
+        total = 0.0
+        seen = set()
+        for user_name in netlist.fanouts(driver):
+            if user_name in seen:
+                continue  # pin caps handled below, once per user gate
+            seen.add(user_name)
+            user = netlist[user_name]
+            if user.gtype is GateType.OUTPUT:
+                total += self.wire_cap_per_fanout + self.output_pin_cap
+            elif user.gtype is GateType.DFF:
+                cell = self._flop_cell(user, library)
+                total += self.wire_cap_per_fanout + cell.input_cap
+            else:
+                cell = library[user.cell]
+                assert isinstance(cell, CombCell)
+                # A driver can feed several pins of the same gate; each
+                # connection adds its pin and wire capacitance.
+                for pin, fanin in zip(cell.inputs, user.fanins):
+                    if fanin == driver:
+                        total += self.wire_cap_per_fanout + cell.pin_cap(pin)
+        return total
+
+    @staticmethod
+    def _flop_cell(gate, library: Library) -> SequentialCell:
+        if gate.cell is not None:
+            cell = library[gate.cell]
+            if isinstance(cell, SequentialCell):
+                return cell
+        return library.default_flip_flop()
+
+    def all_loads(self, netlist: Netlist, library: Library) -> Dict[str, float]:
+        """Load of every driving gate in the netlist."""
+        return {
+            gate.name: self.net_load(netlist, library, gate.name)
+            for gate in netlist
+            if gate.gtype is not GateType.OUTPUT
+        }

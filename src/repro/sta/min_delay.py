@@ -1,0 +1,131 @@
+"""Min-delay (hold-style) analysis.
+
+Error-detecting masters sample during the resiliency window, so data
+launched by the *next* cycle must not race through and corrupt the
+window: the shortest master-to-master path must stay above the window
+width plus the latch hold time.  The paper leans on the fact that
+"latch-based resilient circuits have higher hold margins" — this
+module makes that margin measurable (and
+:mod:`repro.synth.hold_fix` makes it fixable).
+
+Minimum arrivals mirror the maximum-arrival engine with min-mode arc
+delays and min-over-fanins DP.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.cells.cell import CombCell
+from repro.cells.library import Library
+from repro.netlist.netlist import GateType, Netlist
+from repro.sta.loads import LoadModel
+
+POS_INF = float("inf")
+
+
+class MinDelayAnalysis:
+    """Shortest-path arrivals over the combinational cloud."""
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        library: Library,
+        load_model: Optional[LoadModel] = None,
+    ) -> None:
+        self.netlist = netlist
+        self.library = library
+        self.load_model = load_model or LoadModel()
+        self._loads: Optional[Dict[str, float]] = None
+        self._min_arrival: Optional[Dict[str, float]] = None
+
+    def invalidate(self) -> None:
+        """Drop caches after a netlist mutation."""
+        self._loads = None
+        self._min_arrival = None
+
+    def _load(self, name: str) -> float:
+        if self._loads is None:
+            self._loads = self.load_model.all_loads(
+                self.netlist, self.library
+            )
+        return self._loads.get(name, 0.0)
+
+    def min_edge_delay(self, driver: str, sink: str) -> float:
+        """Fastest single-transition delay of ``sink`` from ``driver``."""
+        gate = self.netlist[sink]
+        if not gate.is_comb:
+            return 0.0
+        cell = self.library[gate.cell]
+        assert isinstance(cell, CombCell)
+        load = self._load(sink)
+        best = POS_INF
+        for pin, fanin in zip(cell.inputs, gate.fanins):
+            if fanin != driver:
+                continue
+            best = min(best, cell.arc(pin).min_delay(load, 0.0))
+        if best == POS_INF:
+            raise KeyError(f"{driver!r} does not drive {sink!r}")
+        return best
+
+    def _compute(self) -> Dict[str, float]:
+        arrivals: Dict[str, float] = {}
+        for name in self.netlist.topo_order():
+            gate = self.netlist[name]
+            if gate.is_source:
+                arrivals[name] = 0.0
+            elif gate.gtype is GateType.OUTPUT:
+                continue
+            else:
+                arrivals[name] = min(
+                    arrivals[d] + self.min_edge_delay(d, name)
+                    for d in gate.fanins
+                )
+        return arrivals
+
+    def min_arrival(self, name: str) -> float:
+        """Earliest possible arrival at the output of ``name``."""
+        if self._min_arrival is None:
+            self._min_arrival = self._compute()
+        return self._min_arrival[name]
+
+    def min_endpoint_arrival(self, endpoint: str) -> float:
+        """Earliest data arrival at an endpoint's input."""
+        gate = self.netlist[endpoint]
+        if gate.gtype not in (GateType.OUTPUT, GateType.DFF):
+            raise ValueError(f"{endpoint!r} is not an endpoint")
+        return min(self.min_arrival(d) for d in gate.fanins)
+
+    def trace_min_path(self, endpoint: str) -> List[str]:
+        """The fastest path into ``endpoint`` (for hold fixing)."""
+        gate = self.netlist[endpoint]
+        current = min(gate.fanins, key=self.min_arrival)
+        path = [endpoint, current]
+        while not self.netlist[current].is_source:
+            node = self.netlist[current]
+            current = min(
+                node.fanins,
+                key=lambda d: self.min_arrival(d)
+                + self.min_edge_delay(d, current),
+            )
+            path.append(current)
+        path.reverse()
+        return path
+
+    def hold_violations(
+        self, required_min: float
+    ) -> Dict[str, float]:
+        """Endpoints whose fastest path undercuts ``required_min``.
+
+        For a two-phase resilient design the bound is the resiliency
+        window width plus the master's hold time: data launched at the
+        next cycle's time-0 must not reach an error-detecting master
+        before its window (which extends ``phi1`` past the capturing
+        edge) has closed.
+        """
+        out: Dict[str, float] = {}
+        for gate in self.netlist.endpoints():
+            arrival = self.min_endpoint_arrival(gate.name)
+            if arrival < required_min - 1e-12:
+                out[gate.name] = required_min - arrival
+        return out

@@ -1,0 +1,86 @@
+"""Worst-path extraction — the ``report_timing`` of the substrate."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.netlist.netlist import GateType
+from repro.sta.engine import TimingEngine
+
+
+@dataclass(frozen=True)
+class TimingPath:
+    """One maximal-delay path from a source to an endpoint."""
+
+    gates: Tuple[str, ...]
+    arrival: float
+
+    @property
+    def startpoint(self) -> str:
+        """The launching source gate of the path."""
+        return self.gates[0]
+
+    @property
+    def endpoint(self) -> str:
+        """The terminating endpoint of the path."""
+        return self.gates[-1]
+
+    def __len__(self) -> int:
+        return len(self.gates)
+
+    def pretty(self, engine: Optional[TimingEngine] = None) -> str:
+        """Human-readable path report (one line per gate)."""
+        lines = [f"Path to {self.endpoint} (arrival {self.arrival:.4f})"]
+        cumulative = 0.0
+        previous = None
+        for gate in self.gates:
+            if engine is not None and previous is not None:
+                cumulative += engine.edge_delay(previous, gate)
+                lines.append(f"  {gate:<24s} {cumulative:10.4f}")
+            else:
+                lines.append(f"  {gate}")
+            previous = gate
+        return "\n".join(lines)
+
+
+def worst_path(engine: TimingEngine, endpoint: str) -> TimingPath:
+    """Trace the critical path into ``endpoint`` by walking arrivals."""
+    netlist = engine.netlist
+    gate = netlist[endpoint]
+    if gate.gtype not in (GateType.OUTPUT, GateType.DFF):
+        raise ValueError(f"{endpoint!r} is not an endpoint")
+
+    arrival = engine.endpoint_arrival(endpoint)
+    path: List[str] = [endpoint]
+    # Pick the fanin realizing the endpoint arrival, then walk back.
+    current = max(gate.fanins, key=engine.forward_arrival)
+    path.append(current)
+    while not netlist[current].is_source:
+        fanins = netlist[current].fanins
+        target = engine.forward_arrival(current)
+        best = None
+        best_error = float("inf")
+        for driver in fanins:
+            predicted = engine.forward_arrival(driver) + engine.edge_delay(
+                driver, current
+            )
+            error = abs(predicted - target)
+            if error < best_error:
+                best_error = error
+                best = driver
+        assert best is not None
+        path.append(best)
+        current = best
+    path.reverse()
+    return TimingPath(gates=tuple(path), arrival=arrival)
+
+
+def critical_paths(engine: TimingEngine, count: int = 5) -> List[TimingPath]:
+    """The ``count`` worst endpoint paths, sorted by arrival."""
+    endpoints = sorted(
+        engine.endpoints(),
+        key=lambda g: engine.endpoint_arrival(g.name),
+        reverse=True,
+    )
+    return [worst_path(engine, g.name) for g in endpoints[:count]]

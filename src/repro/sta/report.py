@@ -1,0 +1,99 @@
+"""``report_timing``-style text reports from the timing engine.
+
+Formats the same information a commercial tool's timing report carries
+— startpoint, endpoint, per-gate increments, arrival vs required, and
+slack — which is what the paper's G-RAR implementation parsed back out
+of its tool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.sta.engine import TimingEngine
+from repro.sta.paths import TimingPath, worst_path
+
+
+@dataclass(frozen=True)
+class TimingReport:
+    """A formatted single-path timing report."""
+
+    path: TimingPath
+    required: Optional[float]
+    text: str
+
+    @property
+    def slack(self) -> Optional[float]:
+        """Required minus arrival (None without a requirement)."""
+        if self.required is None:
+            return None
+        return self.required - self.path.arrival
+
+    @property
+    def met(self) -> bool:
+        """True when the path meets its requirement."""
+        slack = self.slack
+        return slack is None or slack >= -1e-12
+
+
+def report_timing(
+    engine: TimingEngine,
+    endpoint: str,
+    required: Optional[float] = None,
+) -> TimingReport:
+    """Render the worst path into ``endpoint``.
+
+    ``required`` (e.g. ``Pi`` for a non-error-detecting master) adds
+    the required-time/slack section.
+    """
+    path = worst_path(engine, endpoint)
+    lines: List[str] = []
+    lines.append(f"Startpoint: {path.startpoint}")
+    lines.append(f"Endpoint:   {path.endpoint}")
+    lines.append("")
+    lines.append(f"{'point':<28s}{'incr':>10s}{'path':>10s}")
+    lines.append("-" * 48)
+
+    cumulative = 0.0
+    previous: Optional[str] = None
+    for gate in path.gates:
+        if previous is None:
+            lines.append(
+                f"{gate + ' (launch)':<28s}{0.0:>10.4f}{0.0:>10.4f}"
+            )
+        else:
+            increment = engine.edge_delay(previous, gate)
+            cumulative += increment
+            lines.append(
+                f"{gate:<28s}{increment:>10.4f}{cumulative:>10.4f}"
+            )
+        previous = gate
+    lines.append("-" * 48)
+    lines.append(f"{'data arrival time':<28s}{path.arrival:>20.4f}")
+    if required is not None:
+        slack = required - path.arrival
+        verdict = "MET" if slack >= -1e-12 else "VIOLATED"
+        lines.append(f"{'data required time':<28s}{required:>20.4f}")
+        lines.append(f"{'slack (' + verdict + ')':<28s}{slack:>20.4f}")
+    return TimingReport(
+        path=path, required=required, text="\n".join(lines)
+    )
+
+
+def report_worst_paths(
+    engine: TimingEngine,
+    count: int = 3,
+    required: Optional[float] = None,
+) -> str:
+    """Concatenated reports for the ``count`` worst endpoints."""
+    endpoints = sorted(
+        engine.endpoints(),
+        key=lambda g: engine.endpoint_arrival(g.name),
+        reverse=True,
+    )[:count]
+    blocks = [
+        report_timing(engine, gate.name, required=required).text
+        for gate in endpoints
+    ]
+    return ("\n" + "=" * 48 + "\n").join(blocks)

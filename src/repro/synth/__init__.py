@@ -1,0 +1,34 @@
+"""Synthesis-tool substrate.
+
+Stands in for the commercial logic-synthesis tool the paper drives:
+timing reports, a built-in retiming command, max-delay constraints,
+and a size-only incremental compile.  The retiming flows only consume
+these tool services, so exercising them through this substrate covers
+the same integration surface as the paper's flow.
+"""
+
+from repro.synth.hold_fix import HoldFixReport, fix_hold
+from repro.synth.recovery import RecoveryReport, recover_area, required_times
+from repro.synth.sizing import (
+    RescueReport,
+    SizingReport,
+    rescue_paths,
+    size_only_compile,
+    speed_paths,
+)
+from repro.synth.tool import SynthTool, ToolOptions
+
+__all__ = [
+    "HoldFixReport",
+    "fix_hold",
+    "RecoveryReport",
+    "RescueReport",
+    "SizingReport",
+    "SynthTool",
+    "ToolOptions",
+    "recover_area",
+    "required_times",
+    "rescue_paths",
+    "size_only_compile",
+    "speed_paths",
+]

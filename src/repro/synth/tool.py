@@ -1,0 +1,152 @@
+"""The synthesis-tool facade.
+
+Bundles the services the paper's flows request from the commercial
+tool behind one object: timing reports, the built-in retiming command,
+do-not-retime constraints, max-delay constraints, and the incremental
+size-only compile.  Example scripts and the VL flow drive this facade
+the same way the paper's TCL drove its tool.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Set
+
+from repro.cells.library import Library
+from repro.clocks import ClockScheme
+from repro.latches.placement import SlavePlacement
+from repro.latches.resilient import TwoPhaseCircuit
+from repro.netlist.netlist import Netlist
+from repro.sta.paths import TimingPath, worst_path
+from repro.synth.sizing import SizingReport, size_only_compile
+
+
+@dataclass
+class ToolOptions:
+    """Knobs mirroring the synthesis runs of Section VI."""
+
+    delay_model: str = "path"
+    #: Extra timing margin applied when deriving the clock from the
+    #: measured worst arrival (synthesized designs meet their period
+    #: with slack; the retimed latches borrow from that slack).
+    clock_margin: float = 1.05
+    #: Keep master latches fixed (the default per Section V; the
+    #: movable-master extension of Table IX lifts it).
+    dont_retime_masters: bool = True
+
+
+class SynthTool:
+    """A loaded design inside the substrate 'tool'."""
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        library: Library,
+        options: Optional[ToolOptions] = None,
+    ) -> None:
+        self.netlist = netlist
+        self.library = library
+        self.options = options or ToolOptions()
+        self._max_delay: Dict[str, float] = {}
+        self._dont_touch: Set[str] = set()
+        self.log: List[str] = []
+
+    # -- timing ----------------------------------------------------------
+
+    def derive_clock(self) -> ClockScheme:
+        """Measure the worst path and build the Table-I clock recipe."""
+        from repro.clocks import scheme_from_period
+        from repro.sta import TimingEngine
+
+        engine = TimingEngine(
+            self.netlist, self.library, model=self.options.delay_model
+        )
+        worst = engine.worst_arrival()
+        scheme = scheme_from_period(worst * self.options.clock_margin)
+        self.log.append(
+            f"derive_clock: worst arrival {worst:.4f}, "
+            f"P = {scheme.max_path_delay:.4f}"
+        )
+        return scheme
+
+    def report_timing(
+        self, endpoint: Optional[str] = None, count: int = 1
+    ) -> List[TimingPath]:
+        """The tool's ``report_timing``: worst paths by endpoint."""
+        from repro.sta import TimingEngine
+        from repro.sta.paths import critical_paths
+
+        engine = TimingEngine(
+            self.netlist, self.library, model=self.options.delay_model
+        )
+        if endpoint is not None:
+            return [worst_path(engine, endpoint)]
+        return critical_paths(engine, count)
+
+    # -- constraints ---------------------------------------------------------
+
+    def set_max_delay(self, endpoint: str, limit: float) -> None:
+        """Record a max-delay constraint for ``endpoint``."""
+        self._max_delay[endpoint] = limit
+        self.log.append(f"set_max_delay {limit:.4f} -to {endpoint}")
+
+    def set_dont_touch(self, gate: str) -> None:
+        """Protect ``gate`` from optimization moves."""
+        self._dont_touch.add(gate)
+
+    @property
+    def max_delay_constraints(self) -> Dict[str, float]:
+        """The recorded max-delay constraints (a copy)."""
+        return dict(self._max_delay)
+
+    # -- commands --------------------------------------------------------------
+
+    def retime(
+        self,
+        circuit: TwoPhaseCircuit,
+        resiliency_aware: bool = False,
+        overhead: float = 0.0,
+    ):
+        """The built-in retiming command.
+
+        ``resiliency_aware=False`` reproduces the stock tool behaviour
+        (the base-retiming comparison point); ``True`` routes to the
+        G-RAR engine, which is how the paper integrates its algorithm
+        into the tool flow.
+        """
+        from repro.retime import base_retime, grar_retime
+
+        started = time.perf_counter()
+        if resiliency_aware:
+            result = grar_retime(circuit, overhead=overhead)
+        else:
+            result = base_retime(circuit, overhead=overhead)
+        self.log.append(
+            f"retime resiliency_aware={resiliency_aware}: "
+            f"{result.n_slaves} slaves in "
+            f"{time.perf_counter() - started:.2f}s"
+        )
+        return result
+
+    def compile_incremental(
+        self,
+        circuit: TwoPhaseCircuit,
+        placement: SlavePlacement,
+        size_only: bool = True,
+        extra_limits: Optional[Mapping[str, float]] = None,
+    ) -> SizingReport:
+        """Incremental compile honouring the max-delay constraints."""
+        if not size_only:
+            raise NotImplementedError(
+                "the substrate supports size-only incremental compiles"
+            )
+        limits = dict(self._max_delay)
+        if extra_limits:
+            limits.update(extra_limits)
+        report = size_only_compile(circuit, placement, limits)
+        self.log.append(
+            f"compile_incremental: resized {report.n_resized} gates, "
+            f"{len(report.unresolved)} endpoints unresolved"
+        )
+        return report

@@ -1,0 +1,24 @@
+"""Virtual-library resiliency-aware retiming (VL-RAR, Section V).
+
+The virtual library gives the synthesis tool three latch groups
+(normal / extended-setup non-EDL / area-inflated EDL) so its stock
+retiming can account for resiliency costs.  Crucially — and this is
+what the paper measures — the tool keeps the latch-type decision
+*decoupled* from retiming: types are fixed up front per variant (EVL /
+NVL / RVL), retiming only respects the timing constraints they imply,
+and a post-retiming swap step reclaims the area the decoupling leaves
+on the table.
+"""
+
+from repro.vl.variants import VlVariant, initial_types
+from repro.vl.swap import SwapReport, apply_required_upgrades, swap_unnecessary_edl
+from repro.vl.flow import vl_retime
+
+__all__ = [
+    "VlVariant",
+    "initial_types",
+    "SwapReport",
+    "apply_required_upgrades",
+    "swap_unnecessary_edl",
+    "vl_retime",
+]

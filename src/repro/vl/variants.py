@@ -1,0 +1,45 @@
+"""Initial latch typing per VL variant (Section V / VI-C).
+
+* ``EVL`` — every master latch starts error-detecting;
+* ``NVL`` — every master starts non-error-detecting, regardless of
+  criticality;
+* ``RVL`` — masters at near-critical endpoints start error-detecting,
+  the rest stay regular.  Near-critical is judged on the design the
+  tool actually sees *before retiming*: the two-phase conversion with
+  slaves still at the master outputs, whose eq. (5) arrivals include
+  the slave-transparency floor.  (This matters: many masters are
+  near-critical only because of that floor, and typing them
+  error-detecting — with the relaxed virtual-library setup — is what
+  frees the tool's retiming from their constraints.)
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Dict
+
+from repro.latches.placement import SlavePlacement
+from repro.latches.resilient import EPS, TwoPhaseCircuit
+
+
+class VlVariant(Enum):
+    """The three initial-typing variants: EVL, NVL, RVL."""
+    EVL = "evl"
+    NVL = "nvl"
+    RVL = "rvl"
+
+
+def initial_types(
+    circuit: TwoPhaseCircuit, variant: VlVariant
+) -> Dict[str, bool]:
+    """Map each endpoint to its initial is-error-detecting flag."""
+    if variant is VlVariant.EVL:
+        return {name: True for name in circuit.endpoint_names}
+    if variant is VlVariant.NVL:
+        return {name: False for name in circuit.endpoint_names}
+    window_open = circuit.scheme.window_open
+    arrivals = circuit.endpoint_arrivals(SlavePlacement.initial())
+    return {
+        name: arrivals.get(name, 0.0) > window_open + EPS
+        for name in circuit.endpoint_names
+    }

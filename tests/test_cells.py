@@ -1,0 +1,176 @@
+"""Tests for cell timing models, logic functions, and cell classes."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cells.cell import (
+    CombCell,
+    FUNCTIONS,
+    evaluate_function,
+)
+from repro.cells.timing import DelayModel, SequentialTiming, TimingArc
+
+
+class TestDelayModel:
+    def test_delay_linear_in_load(self):
+        model = DelayModel(intrinsic=0.01, resistance=0.005)
+        assert model.delay(0.0) == pytest.approx(0.01)
+        assert model.delay(4.0) == pytest.approx(0.03)
+
+    def test_slew_contribution(self):
+        model = DelayModel(intrinsic=0.01, resistance=0.0, slew_impact=0.1)
+        assert model.delay(0.0, input_slew=0.05) == pytest.approx(0.015)
+
+    def test_output_slew(self):
+        model = DelayModel(0.0, slew_intrinsic=0.02, slew_resistance=0.01)
+        assert model.output_slew(3.0) == pytest.approx(0.05)
+
+    def test_scaled_stronger_drive(self):
+        base = DelayModel(intrinsic=0.01, resistance=0.008)
+        strong = base.scaled(delay_factor=1.05, drive_factor=2.0)
+        assert strong.intrinsic == pytest.approx(0.0105)
+        assert strong.resistance == pytest.approx(0.004)
+        # Heavily loaded, the strong cell must win.
+        assert strong.delay(10) < base.delay(10)
+
+    @given(
+        st.floats(min_value=0, max_value=1),
+        st.floats(min_value=0, max_value=1),
+        st.floats(min_value=0, max_value=20),
+    )
+    def test_delay_monotone_in_load(self, intrinsic, resistance, load):
+        model = DelayModel(intrinsic=intrinsic, resistance=resistance)
+        assert model.delay(load) >= model.delay(0.0) - 1e-12
+
+
+class TestTimingArc:
+    def _arc(self):
+        return TimingArc(
+            input_pin="A",
+            rise=DelayModel(0.02, 0.01),
+            fall=DelayModel(0.015, 0.008),
+        )
+
+    def test_max_min_delay(self):
+        arc = self._arc()
+        assert arc.max_delay(1.0) == pytest.approx(0.03)
+        assert arc.min_delay(1.0) == pytest.approx(0.023)
+
+    def test_delay_for_output_edge(self):
+        arc = self._arc()
+        assert arc.delay_for_output_edge(True, 1.0) == pytest.approx(0.03)
+        assert arc.delay_for_output_edge(False, 1.0) == pytest.approx(0.023)
+
+    def test_max_output_slew(self):
+        arc = TimingArc(
+            "A",
+            rise=DelayModel(0, slew_intrinsic=0.02, slew_resistance=0.01),
+            fall=DelayModel(0, slew_intrinsic=0.01, slew_resistance=0.02),
+        )
+        assert arc.max_output_slew(2.0) == pytest.approx(0.05)
+
+
+class TestSequentialTiming:
+    def test_negative_setup_rejected(self):
+        with pytest.raises(ValueError):
+            SequentialTiming(setup=-1, hold=0, clock_to_q=0)
+
+    def test_with_setup(self):
+        timing = SequentialTiming(0.02, 0.01, 0.05, 0.03)
+        extended = timing.with_setup(0.3)
+        assert extended.setup == 0.3
+        assert extended.clock_to_q == timing.clock_to_q
+        assert extended.data_to_q == timing.data_to_q
+
+
+class TestEvaluateFunction:
+    @pytest.mark.parametrize(
+        "function,inputs,expected",
+        [
+            ("BUF", [1], 1),
+            ("INV", [1], 0),
+            ("AND", [1, 1, 1], 1),
+            ("AND", [1, 0, 1], 0),
+            ("NAND", [1, 1], 0),
+            ("NAND", [0, 1], 1),
+            ("OR", [0, 0], 0),
+            ("OR", [0, 1], 1),
+            ("NOR", [0, 0], 1),
+            ("XOR", [1, 0], 1),
+            ("XOR", [1, 1], 0),
+            ("XOR", [1, 1, 1], 1),
+            ("XNOR", [1, 0], 0),
+            ("AOI21", [1, 1, 0], 0),
+            ("AOI21", [0, 1, 0], 1),
+            ("OAI21", [0, 0, 1], 1),
+            ("OAI21", [1, 0, 1], 0),
+            ("MUX2", [1, 0, 0], 1),
+            ("MUX2", [1, 0, 1], 0),
+        ],
+    )
+    def test_truth_tables(self, function, inputs, expected):
+        assert evaluate_function(function, inputs) == expected
+
+    def test_unknown_function(self):
+        with pytest.raises(ValueError):
+            evaluate_function("NOPE", [0])
+
+    def test_wrong_arity(self):
+        with pytest.raises(ValueError):
+            evaluate_function("MUX2", [0, 1])
+
+    def test_empty_variadic(self):
+        with pytest.raises(ValueError):
+            evaluate_function("AND", [])
+
+    @given(st.lists(st.integers(min_value=0, max_value=1), min_size=2, max_size=6))
+    def test_demorgan(self, bits):
+        nand = evaluate_function("NAND", bits)
+        or_inv = evaluate_function("OR", [b ^ 1 for b in bits])
+        assert nand == or_inv
+
+    @given(st.lists(st.integers(min_value=0, max_value=1), min_size=2, max_size=6))
+    def test_xor_parity(self, bits):
+        assert evaluate_function("XOR", bits) == sum(bits) % 2
+
+
+class TestCombCell:
+    def test_library_cell_shape(self, library):
+        cell = library["NAND2_X1"]
+        assert isinstance(cell, CombCell)
+        assert cell.inputs == ("A", "B")
+        assert cell.function == "NAND"
+        assert cell.drive == 1
+        assert cell.vt == "svt"
+
+    def test_base_name_strips_suffixes(self, library):
+        assert library["NAND2_X2"].base_name == "NAND2"
+        assert library["NAND2_LVT_X2"].base_name == "NAND2"
+
+    def test_worst_delay_positive(self, library):
+        cell = library["XOR2_X1"]
+        assert cell.worst_delay(2.0) > 0
+
+    def test_missing_arc_rejected(self):
+        with pytest.raises(ValueError):
+            CombCell(name="BAD", area=1.0, function="NAND", inputs=("A", "B"))
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            CombCell(
+                name="BAD", area=1.0, function="MUX2", inputs=("A",), arcs={}
+            )
+
+    def test_negative_area_rejected(self):
+        with pytest.raises(ValueError):
+            CombCell(name="BAD", area=-1.0)
+
+    def test_evaluate_uses_function(self, library):
+        cell = library["AOI21_X1"]
+        assert cell.evaluate([1, 1, 0]) == 0
+        assert cell.evaluate([0, 0, 0]) == 1
+
+    def test_every_function_has_registered_arity(self):
+        for function, arity in FUNCTIONS.items():
+            if arity is not None:
+                assert arity >= 1

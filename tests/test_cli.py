@@ -1,0 +1,53 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "s1196"])
+        assert args.method == "grar"
+        assert args.overhead == 1.0
+
+    def test_method_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "s1196", "--method", "magic"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "s1196" in out and "plasma" in out
+
+    def test_run(self, capsys):
+        assert main(["run", "s1488", "--method", "base"]) == 0
+        out = capsys.readouterr().out
+        assert "base[s1488" in out
+
+    def test_run_with_error_rate(self, capsys):
+        assert main(
+            ["run", "s1488", "--method", "grar", "--error-rate",
+             "--cycles", "16"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "error rate" in out
+
+    def test_tables_filtered(self, capsys):
+        assert main(
+            ["tables", "s1488", "--tables", "table i", "--cycles", "16"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "Table V:" not in out
+
+    def test_example(self, capsys):
+        assert main(["example"]) == 0
+        out = capsys.readouterr().out
+        assert "Cut2" in out

@@ -1,0 +1,136 @@
+"""Tests for the two-phase clock model."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.clocks import ClockScheme, scheme_from_period
+
+
+class TestClockScheme:
+    def test_fig4_scheme_period(self):
+        scheme = ClockScheme(2.5, 2.5, 2.5, 2.5)
+        assert scheme.period == 10.0
+        assert scheme.pi == 10.0
+        assert scheme.max_path_delay == 12.5
+
+    def test_resiliency_window_is_phi1(self):
+        scheme = ClockScheme(1.0, 0.5, 2.0, 0.25)
+        assert scheme.resiliency_window == 1.0
+
+    def test_slave_window(self):
+        scheme = ClockScheme(2.5, 2.5, 2.5, 2.5)
+        assert scheme.slave_open == 5.0
+        assert scheme.slave_close == 7.5
+
+    def test_constraint_limits_fig4(self):
+        """The example's forward and backward limits are both 7.5."""
+        scheme = ClockScheme(2.5, 2.5, 2.5, 2.5)
+        assert scheme.forward_limit == 7.5
+        assert scheme.backward_limit == 7.5
+
+    def test_window_open_close(self):
+        scheme = ClockScheme(2.5, 2.5, 2.5, 2.5)
+        assert scheme.window_open == 10.0
+        assert scheme.window_close == 12.5
+
+    def test_symmetric(self):
+        assert ClockScheme(1, 2, 1, 2).is_symmetric()
+        assert not ClockScheme(1, 2, 1.5, 2).is_symmetric()
+
+    def test_negative_interval_rejected(self):
+        with pytest.raises(ValueError):
+            ClockScheme(1.0, -0.1, 1.0, 0.0)
+
+    def test_zero_transparency_rejected(self):
+        with pytest.raises(ValueError):
+            ClockScheme(0.0, 1.0, 1.0, 1.0)
+
+    def test_scaled(self):
+        scheme = ClockScheme(1.0, 0.0, 1.5, 0.5).scaled(2.0)
+        assert scheme.phi1 == 2.0
+        assert scheme.phi2 == 3.0
+        assert scheme.period == 6.0
+
+    def test_scaled_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ClockScheme(1, 1, 1, 1).scaled(0.0)
+
+    def test_frozen(self):
+        scheme = ClockScheme(1, 1, 1, 1)
+        with pytest.raises(AttributeError):
+            scheme.phi1 = 2.0
+
+
+class TestSchemeFromPeriod:
+    def test_paper_recipe(self):
+        """Section VI-A: phi1=0.3P, gamma1=0, phi2=0.35P, gamma2=0.05P."""
+        scheme = scheme_from_period(1.0)
+        assert scheme.phi1 == pytest.approx(0.30)
+        assert scheme.gamma1 == 0.0
+        assert scheme.phi2 == pytest.approx(0.35)
+        assert scheme.gamma2 == pytest.approx(0.05)
+
+    def test_pi_is_seventy_percent(self):
+        scheme = scheme_from_period(2.0)
+        assert scheme.period == pytest.approx(1.4)
+
+    def test_max_path_delay_roundtrip(self):
+        scheme = scheme_from_period(0.8)
+        assert scheme.max_path_delay == pytest.approx(0.8)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            scheme_from_period(0.0)
+
+    @given(st.floats(min_value=0.05, max_value=100.0))
+    def test_recipe_invariants(self, period):
+        scheme = scheme_from_period(period)
+        assert scheme.max_path_delay == pytest.approx(period)
+        assert scheme.window_open == pytest.approx(0.7 * period)
+        # Recipe asymmetry: gamma1 = 0 but gamma2 = 0.05 P, so the
+        # forward limit (0.65 P) is tighter than the backward (0.7 P).
+        assert scheme.forward_limit == pytest.approx(0.65 * period)
+        assert scheme.backward_limit == pytest.approx(0.7 * period)
+
+    @given(
+        st.floats(min_value=0.01, max_value=10),
+        st.floats(min_value=0, max_value=10),
+        st.floats(min_value=0.01, max_value=10),
+        st.floats(min_value=0, max_value=10),
+    )
+    def test_identities(self, phi1, gamma1, phi2, gamma2):
+        scheme = ClockScheme(phi1, gamma1, phi2, gamma2)
+        assert scheme.max_path_delay == pytest.approx(
+            scheme.period + scheme.phi1
+        )
+        assert scheme.window_close == pytest.approx(
+            scheme.window_open + scheme.resiliency_window
+        )
+        assert scheme.slave_close == pytest.approx(scheme.forward_limit)
+        # Constraint (7) bound: window_close minus slave opening.
+        assert scheme.backward_limit == pytest.approx(
+            scheme.window_close - scheme.slave_open
+        )
+
+
+class TestWaveforms:
+    def test_waveform_lengths(self):
+        scheme = ClockScheme(1, 1, 1, 1)
+        waves = scheme.waveforms(cycles=2, resolution=16)
+        assert len(waves["time"]) == 32
+        assert set(waves["clk1"]) <= {0, 1}
+        assert set(waves["clk2"]) <= {0, 1}
+
+    def test_phases_do_not_overlap(self):
+        scheme = ClockScheme(1.0, 0.5, 1.0, 0.5)
+        waves = scheme.waveforms(cycles=1, resolution=120)
+        overlap = [
+            a and b for a, b in zip(waves["clk1"], waves["clk2"])
+        ]
+        assert not any(overlap)
+
+    def test_rejects_zero_cycles(self):
+        with pytest.raises(ValueError):
+            ClockScheme(1, 1, 1, 1).waveforms(cycles=0)

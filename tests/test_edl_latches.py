@@ -1,0 +1,142 @@
+"""Behavioural tests for the Fig. 2 error-detecting latches."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cells.edl import (
+    ShadowFlipFlopLatch,
+    TransitionDetectingLatch,
+    window_has_transition,
+)
+
+WINDOW = (10.0, 12.5)  # the Fig. 4 scheme's resiliency window
+
+
+class TestShadowFlipFlopLatch:
+    def test_no_transition_no_error(self):
+        result = ShadowFlipFlopLatch().evaluate(
+            [(2.0, 1)], *WINDOW, initial=0
+        )
+        assert not result.error
+        assert result.captured == 1
+
+    def test_transition_inside_window_flags(self):
+        result = ShadowFlipFlopLatch().evaluate(
+            [(11.0, 1)], *WINDOW, initial=0
+        )
+        assert result.error
+        assert result.error_time == pytest.approx(11.0)
+        assert result.captured == 1
+
+    def test_transition_at_open_is_sampled_not_error(self):
+        """An event exactly at the opening edge is the sampled value."""
+        result = ShadowFlipFlopLatch().evaluate(
+            [(10.0, 1)], *WINDOW, initial=0
+        )
+        assert not result.error
+
+    def test_transition_after_close_ignored(self):
+        result = ShadowFlipFlopLatch().evaluate(
+            [(13.0, 1)], *WINDOW, initial=0
+        )
+        assert not result.error
+        assert result.captured == 0  # value at window close
+
+    def test_glitch_back_to_sampled_still_flags(self):
+        """A 0->1->0 glitch inside the window leaves a latched error."""
+        result = ShadowFlipFlopLatch().evaluate(
+            [(10.5, 1), (11.0, 0)], *WINDOW, initial=0
+        )
+        assert result.error
+
+    def test_unsorted_events_rejected(self):
+        with pytest.raises(ValueError):
+            ShadowFlipFlopLatch().evaluate([(2, 1), (1, 0)], *WINDOW)
+
+    def test_bad_values_rejected(self):
+        with pytest.raises(ValueError):
+            ShadowFlipFlopLatch().evaluate([(1, 2)], *WINDOW)
+
+    def test_inverted_window_rejected(self):
+        with pytest.raises(ValueError):
+            ShadowFlipFlopLatch().evaluate([], 5.0, 4.0)
+
+
+class TestTransitionDetectingLatch:
+    def test_any_window_transition_flags(self):
+        result = TransitionDetectingLatch().evaluate(
+            [(11.2, 1)], *WINDOW, initial=0
+        )
+        assert result.error
+
+    def test_pre_window_transitions_fine(self):
+        result = TransitionDetectingLatch().evaluate(
+            [(1.0, 1), (2.0, 0), (3.0, 1)], *WINDOW, initial=0
+        )
+        assert not result.error
+        assert result.captured == 1
+
+
+class TestEquivalence:
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=14),
+                st.integers(min_value=0, max_value=1),
+            ),
+            max_size=6,
+        ).map(lambda evs: sorted(evs, key=lambda e: e[0])),
+        st.integers(min_value=0, max_value=1),
+    )
+    def test_both_designs_agree(self, events, initial):
+        """Fig. 2's two designs flag the same cycles.
+
+        The shadow-FF compares against the sampled value and the TDTB
+        detects transitions; for any waveform, a transition inside the
+        window implies a mismatch against the sample and vice versa.
+        """
+        shadow = ShadowFlipFlopLatch().evaluate(events, *WINDOW, initial)
+        tdtb = TransitionDetectingLatch().evaluate(events, *WINDOW, initial)
+        assert shadow.error == tdtb.error
+        assert shadow.captured == tdtb.captured
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=14),
+                st.integers(min_value=0, max_value=1),
+            ),
+            max_size=6,
+        ).map(lambda evs: sorted(evs, key=lambda e: e[0])),
+        st.integers(min_value=0, max_value=1),
+    )
+    def test_abstract_condition_matches(self, events, initial):
+        """The estimator's window predicate agrees with the latches.
+
+        Note the predicate sees *value changes* only, so the event list
+        is first collapsed to actual transitions.
+        """
+        times = []
+        value = initial
+        for when, new in events:
+            if new != value:
+                times.append(when)
+                value = new
+        predicted = window_has_transition(times, *WINDOW)
+        shadow = ShadowFlipFlopLatch().evaluate(events, *WINDOW, initial)
+        assert shadow.error == predicted
+
+
+class TestWindowPredicate:
+    def test_empty(self):
+        assert not window_has_transition([], 1.0, 2.0)
+
+    def test_boundaries(self):
+        assert not window_has_transition([1.0], 1.0, 2.0)  # open excl
+        assert window_has_transition([2.0], 1.0, 2.0)  # close incl
+        assert window_has_transition([1.5], 1.0, 2.0)
+
+    def test_unsorted_input(self):
+        assert window_has_transition([5.0, 1.5, 0.1], 1.0, 2.0)

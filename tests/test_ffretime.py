@@ -1,0 +1,130 @@
+"""Tests for flop-level retiming (the movable-master extension)."""
+
+import pytest
+
+from repro.netlist import Gate, GateType, Netlist, NetlistBuilder, validate
+from repro.retime.ffretime import (
+    _collapse_flops,
+    apply_ff_retiming,
+    ff_retime_min_area,
+)
+
+
+def pipeline_netlist(library):
+    """in -> inv1 -> FF -> inv2 -> FF -> out, plus a mergeable pair."""
+    builder = NetlistBuilder("pipe", library)
+    builder.input("a")
+    builder.gate("inv1", "INV", ["a"])
+    builder.flop("r1", "inv1")
+    builder.gate("inv2", "INV", ["r1"])
+    builder.flop("r2", "inv2")
+    builder.output("y", "r2")
+    return builder.build()
+
+
+def mergeable_netlist(library):
+    """Two flops feeding one AND: retiming can merge them after it."""
+    builder = NetlistBuilder("merge", library)
+    builder.input("a")
+    builder.input("b")
+    builder.gate("g1", "INV", ["a"])
+    builder.gate("g2", "INV", ["b"])
+    builder.flop("r1", "g1")
+    builder.flop("r2", "g2")
+    builder.gate("g3", "AND", ["r1", "r2"])
+    builder.output("y", "g3")
+    return builder.build()
+
+
+class TestCollapse:
+    def test_pipeline_edges(self, library):
+        netlist = pipeline_netlist(library)
+        edges, flop_driver = _collapse_flops(netlist)
+        weights = {(e.tail, e.head): e.weight for e in edges}
+        assert weights[("inv1", "inv2")] == 1
+        assert weights[("inv2", "y")] == 1
+        assert weights[("a", "inv1")] == 0
+        assert flop_driver == {"r1": "inv1", "r2": "inv2"}
+
+    def test_chained_flops_counted(self, library):
+        netlist = Netlist("chain")
+        netlist.add(Gate("a", GateType.INPUT))
+        netlist.add(Gate("g", GateType.COMB, ("a",), cell="INV_X1"))
+        netlist.add(Gate("f1", GateType.DFF, ("g",), cell="DFF_X1"))
+        netlist.add(Gate("f2", GateType.DFF, ("f1",), cell="DFF_X1"))
+        netlist.add(Gate("y", GateType.OUTPUT, ("f2",)))
+        edges, _ = _collapse_flops(netlist)
+        weights = {(e.tail, e.head): e.weight for e in edges}
+        assert weights[("g", "y")] == 2
+
+
+class TestApply:
+    def test_identity_roundtrip(self, library):
+        netlist = mergeable_netlist(library)
+        edges, _ = _collapse_flops(netlist)
+        rebuilt = apply_ff_retiming(
+            netlist, library, edges, {n: 0 for n in netlist.names()}
+        )
+        validate(rebuilt, library)
+        assert len(rebuilt.flops()) == len(netlist.flops())
+
+    def test_forward_merge_reduces_flops(self, library):
+        """r(g3) = -1 pulls both input flops through the AND gate."""
+        netlist = mergeable_netlist(library)
+        edges, _ = _collapse_flops(netlist)
+        rebuilt = apply_ff_retiming(netlist, library, edges, {"g3": -1})
+        validate(rebuilt, library)
+        assert len(rebuilt.flops()) == 1  # merged behind g3
+
+    def test_illegal_negative_edge_rejected(self, library):
+        netlist = mergeable_netlist(library)
+        edges, _ = _collapse_flops(netlist)
+        with pytest.raises(ValueError, match="illegal"):
+            # Moving a flop backward through g1 (r = +1) starves the
+            # zero-weight a -> g1 edge.
+            apply_ff_retiming(netlist, library, edges, {"g3": -2})
+
+
+class TestMinArea:
+    def test_merge_found_automatically(self, library):
+        netlist = mergeable_netlist(library)
+        result = ff_retime_min_area(netlist, library, period=10.0)
+        assert result.flops_after <= result.flops_before
+        assert result.flops_after == 1
+        validate(result.netlist, library)
+
+    def test_timing_constraint_blocks_merge(self, library):
+        """With a period below the post-merge register-free path, the
+        constraint generation must keep flops apart."""
+        netlist = mergeable_netlist(library)
+        from repro.sta import TimingEngine
+
+        engine = TimingEngine(netlist, library)
+        tight = engine.worst_arrival() * 0.9
+        result = ff_retime_min_area(netlist, library, period=tight)
+        # Whatever it returns must be timing-legal at the period.
+        check = TimingEngine(result.netlist, library)
+        assert check.worst_arrival() <= max(
+            tight, engine.worst_arrival()
+        ) + 1e-9
+
+    def test_generated_circuit_legal(self, small_netlist, library):
+        from repro.sta import TimingEngine
+
+        engine = TimingEngine(small_netlist, library)
+        period = engine.worst_arrival() * 1.05
+        result = ff_retime_min_area(
+            small_netlist.copy(), library, period=period
+        )
+        validate(result.netlist, library)
+        assert result.flops_after <= result.flops_before
+        check = TimingEngine(result.netlist, library)
+        assert check.worst_arrival() <= period * 1.02
+
+    def test_never_worsens_flop_count(self, s1196, library):
+        from repro.sta import TimingEngine
+
+        engine = TimingEngine(s1196, library)
+        period = engine.worst_arrival() * 1.05
+        result = ff_retime_min_area(s1196.copy(), library, period=period)
+        assert result.flops_after <= result.flops_before

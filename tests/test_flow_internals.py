@@ -1,0 +1,80 @@
+"""Tests for flow-layer internals: master cells, recovery limits."""
+
+import pytest
+
+from repro.flows import prepare_circuit, run_flow
+from repro.flows.run import _apply_master_cells, _recovery_limits
+from repro.retime import base_retime, grar_retime
+
+
+@pytest.fixture()
+def circuit(small_netlist, library):
+    _, circuit = prepare_circuit(small_netlist.copy(), library)
+    return circuit
+
+
+class TestMasterCells:
+    def test_edl_flops_get_heavy_cell(self, circuit):
+        flops = [g.name for g in circuit.netlist.flops()]
+        chosen = set(flops[:3])
+        _apply_master_cells(circuit, chosen)
+        for name in flops:
+            expected = "DFF_ED_X1" if name in chosen else "DFF_X1"
+            assert circuit.netlist[name].cell == expected
+
+    def test_swap_back(self, circuit):
+        flops = [g.name for g in circuit.netlist.flops()]
+        _apply_master_cells(circuit, set(flops))
+        _apply_master_cells(circuit, set())
+        assert all(
+            g.cell == "DFF_X1" for g in circuit.netlist.flops()
+        )
+
+    def test_heavier_master_slows_driver(self, circuit):
+        flop = circuit.netlist.flops()[0]
+        driver = flop.fanins[0]
+        before = circuit.engine.endpoint_arrival(flop.name)
+        _apply_master_cells(circuit, {flop.name})
+        after = circuit.engine.endpoint_arrival(flop.name)
+        assert after >= before
+
+
+class TestRecoveryLimits:
+    def test_base_limits_pin_met_masters(self, circuit):
+        result = base_retime(circuit, overhead=1.0)
+        limits = _recovery_limits(circuit, result, "base")
+        window_open = circuit.scheme.window_open
+        window_close = circuit.scheme.window_close
+        arrivals = circuit.endpoint_arrivals(result.placement)
+        for name, limit in limits.items():
+            if arrivals[name] <= window_open + 1e-9:
+                assert limit == pytest.approx(window_open)
+            else:
+                assert limit == pytest.approx(window_close)
+
+    def test_vl_limits_follow_types(self, circuit):
+        from repro.vl import VlVariant, vl_retime
+
+        result = vl_retime(
+            circuit, overhead=1.0, variant=VlVariant.EVL, post_swap=False
+        )
+        limits = _recovery_limits(circuit, result, "evl")
+        # EVL types everything error-detecting: all limits relax to
+        # the window close — the drift that defeats the swap.
+        assert set(limits.values()) == {circuit.scheme.window_close}
+
+
+class TestBudgetScale:
+    def test_larger_budget_never_more_edl(
+        self, small_netlist, library
+    ):
+        scheme, _ = prepare_circuit(small_netlist.copy(), library)
+        tight = run_flow(
+            "grar", small_netlist, library, 1.0,
+            scheme=scheme, rescue_budget_scale=0.0,
+        )
+        loose = run_flow(
+            "grar", small_netlist, library, 1.0,
+            scheme=scheme, rescue_budget_scale=8.0,
+        )
+        assert loose.n_edl <= tight.n_edl

@@ -1,0 +1,130 @@
+"""Focused tests of the slave-latch waveform transform."""
+
+import pytest
+
+from repro.circuits.fig4 import fig4_circuit
+from repro.sim.logicsim import TimedSimulator, Waveform
+
+
+@pytest.fixture()
+def sim(small_prepared):
+    _, circuit = small_prepared
+    return TimedSimulator(circuit), circuit
+
+
+class TestLatchTransform:
+    def test_early_data_waits_for_opening(self, sim):
+        simulator, circuit = sim
+        t_open = circuit.scheme.slave_open
+        wave = Waveform.step(0, 0.01, 1)  # changes long before opening
+        out = simulator._latch_transform(wave, held=0)
+        assert out.initial == 0
+        assert out.events == [
+            (t_open + circuit.latch_ck_q, 1)
+        ]
+
+    def test_held_value_before_opening(self, sim):
+        simulator, circuit = sim
+        wave = Waveform.step(1, 0.01, 1)  # input already 1
+        out = simulator._latch_transform(wave, held=1)
+        # Same as held: no transition at all.
+        assert out.events == []
+
+    def test_transparent_passthrough(self, sim):
+        simulator, circuit = sim
+        t_open = circuit.scheme.slave_open
+        when = t_open + 0.3 * (
+            circuit.scheme.slave_close - t_open
+        )
+        wave = Waveform(initial=0, events=[(when, 1)])
+        out = simulator._latch_transform(wave, held=0)
+        assert (when + circuit.latch_d_q, 1) in out.events
+
+    def test_opaque_after_close(self, sim):
+        simulator, circuit = sim
+        t_close = circuit.scheme.slave_close
+        wave = Waveform(initial=0, events=[(t_close + 0.01, 1)])
+        out = simulator._latch_transform(wave, held=0)
+        assert out.events == []  # dropped: latch already closed
+
+    def test_glitch_through_transparency(self, sim):
+        simulator, circuit = sim
+        t_open = circuit.scheme.slave_open
+        mid = (t_open + circuit.scheme.slave_close) / 2
+        wave = Waveform(
+            initial=0,
+            events=[(mid, 1), (mid + 0.001, 0)],
+        )
+        out = simulator._latch_transform(wave, held=0)
+        # Both transitions pass, delayed by D->Q.
+        values = [v for _, v in out.events]
+        assert values == [1, 0]
+
+
+class TestFig4Simulation:
+    def test_fig4_without_library_rejected(self):
+        circuit = fig4_circuit()
+        with pytest.raises(ValueError, match="library"):
+            TimedSimulator(circuit)
+
+    def test_event_cap_respected(self, sim):
+        simulator, circuit = sim
+        simulator.max_events_per_net = 4
+        # A pathological waveform with many input changes.
+        gate = circuit.netlist.comb_gates()[0]
+        waves = [
+            Waveform(
+                initial=0,
+                events=[(0.001 * k, k % 2) for k in range(1, 40)],
+            )
+            for _ in gate.fanins
+        ]
+        out = simulator._evaluate_gate(gate, waves)
+        assert len(out.events) <= 8  # capped candidates, pruned output
+
+
+class TestPreemption:
+    def test_reordered_events_cancel(self):
+        """Unequal rise/fall delays must not leave stale transitions.
+
+        Regression for a transport-delay bug: an OAI21 whose inputs
+        rose in sequence scheduled its (slower) rising output *after*
+        the (faster) falling one, leaving a phantom final 1.
+        """
+        from repro.sim.logicsim import _append_preempt
+
+        events = []
+        _append_preempt(events, 1.0, 1)
+        _append_preempt(events, 0.9, 0)  # newer input, earlier effect
+        assert events == [(0.9, 0)]
+
+    def test_steady_state_matches_boolean_eval(self, small_prepared):
+        """Every net's final value equals pure boolean evaluation,
+        over many random vectors (the property the bug violated)."""
+        import random
+
+        from repro.latches import SlavePlacement
+        from repro.sim import TimedSimulator
+
+        _, circuit = small_prepared
+        simulator = TimedSimulator(circuit)
+        library = circuit.library
+        rng = random.Random(123)
+        for _ in range(50):
+            launch = {
+                g.name: rng.randint(0, 1)
+                for g in circuit.netlist.sources()
+            }
+            waves = simulator.run_cycle(
+                launch, SlavePlacement.initial(), {}
+            )
+            expected = dict(launch)
+            for name in circuit.netlist.topo_order():
+                gate = circuit.netlist[name]
+                if not gate.is_comb:
+                    continue
+                cell = library[gate.cell]
+                expected[name] = cell.evaluate(
+                    [expected[f] for f in gate.fanins]
+                )
+                assert waves[name].final == expected[name], name

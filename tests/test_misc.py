@@ -1,0 +1,229 @@
+"""Error paths and small-surface coverage across modules."""
+
+import io
+from fractions import Fraction
+
+import pytest
+
+from repro.circuits.fig4 import fig4_netlist, fig4_scheme
+from repro.netlist.bench import write_bench
+from repro.retime.graph import EdgeKind, GraphEdge, RetimingGraph
+from repro.retime.netflow import solve_retiming_flow
+from repro.retime.simplex import NetworkSimplex
+
+
+class TestRetimingGraphContainer:
+    def test_duplicate_node(self):
+        graph = RetimingGraph()
+        graph.add_node("a", -1, 0)
+        with pytest.raises(ValueError):
+            graph.add_node("a", -1, 0)
+
+    def test_bad_bounds(self):
+        graph = RetimingGraph()
+        with pytest.raises(ValueError):
+            graph.add_node("a", 1, 0)
+
+    def test_edge_needs_nodes(self):
+        graph = RetimingGraph()
+        graph.add_node("a", 0, 0)
+        with pytest.raises(KeyError):
+            graph.add_edge("a", "ghost", 0, Fraction(1), EdgeKind.CIRCUIT)
+
+    def test_constant_cost(self):
+        graph = RetimingGraph()
+        graph.add_node("a", -1, 0)
+        graph.add_node("b", -1, 0)
+        graph.add_edge("a", "b", 2, Fraction(1, 2), EdgeKind.CIRCUIT)
+        assert graph.constant_cost() == Fraction(1)
+
+    def test_check_feasible_reports_violations(self):
+        graph = RetimingGraph()
+        graph.add_node("a", -1, 0)
+        graph.add_node("b", -1, 0)
+        graph.add_edge("a", "b", 0, Fraction(1), EdgeKind.CIRCUIT)
+        bad = graph.check_feasible({"a": 0, "b": -1})
+        assert len(bad) == 1
+
+    def test_stats_counts_kinds(self):
+        graph = RetimingGraph()
+        graph.add_node("a", -1, 0)
+        graph.add_node("b", -1, 0)
+        graph.add_edge("a", "b", 0, Fraction(1), EdgeKind.CIRCUIT)
+        stats = graph.stats()
+        assert stats["nodes"] == 2
+        assert stats["circuit"] == 1
+
+
+class TestSimplexLimits:
+    def test_iteration_budget_enforced(self):
+        """An absurdly low budget must abort rather than loop."""
+        nodes = [f"n{i}" for i in range(6)]
+        arcs = []
+        for i in range(5):
+            arcs.append((nodes[i], nodes[i + 1], 1))
+            arcs.append((nodes[i + 1], nodes[i], 1))
+        demands = {nodes[0]: Fraction(-3), nodes[-1]: Fraction(3)}
+        simplex = NetworkSimplex(nodes, arcs, demands, max_iterations=1)
+        with pytest.raises(RuntimeError, match="iteration budget"):
+            simplex.solve()
+
+    def test_scale_detection(self):
+        simplex = NetworkSimplex(
+            ["a", "b"],
+            [("a", "b", 1)],
+            {"a": Fraction(-1, 3), "b": Fraction(1, 3)},
+        )
+        assert simplex.scale == 3
+        result = simplex.solve()
+        assert result.objective == Fraction(1, 3)
+
+
+class TestBenchWriter:
+    def test_unwritable_cell_rejected(self, library):
+        """AOI21 has no .bench equivalent; the writer must say so."""
+        from repro.netlist import Gate, GateType, Netlist
+
+        netlist = Netlist("x")
+        netlist.add(Gate("a", GateType.INPUT))
+        netlist.add(Gate("b", GateType.INPUT))
+        netlist.add(Gate("c", GateType.INPUT))
+        netlist.add(
+            Gate("g", GateType.COMB, ("a", "b", "c"), cell="AOI21_X1")
+        )
+        netlist.add(Gate("y", GateType.OUTPUT, ("g",)))
+        with pytest.raises(ValueError, match="no .bench equivalent"):
+            write_bench(netlist, io.StringIO())
+
+    def test_fig4_not_bench_writable_but_parseable_gates_are(self, library):
+        buffer = io.StringIO()
+        from repro.netlist import NetlistBuilder
+
+        builder = NetlistBuilder("ok", library)
+        builder.input("a")
+        builder.input("b")
+        builder.gate("g", "NAND", ["a", "b"])
+        builder.output("y", "g")
+        write_bench(builder.build(), buffer)
+        assert "NAND" in buffer.getvalue()
+
+
+class TestResultSummaries:
+    def test_flow_outcome_summary(self, small_netlist, library):
+        from repro.flows import prepare_circuit, run_flow
+
+        scheme, _ = prepare_circuit(small_netlist.copy(), library)
+        outcome = run_flow(
+            "base", small_netlist, library, 1.0, scheme=scheme
+        )
+        text = outcome.summary()
+        assert "base[" in text and "slaves=" in text
+
+    def test_retiming_result_summary(self, fig4):
+        from repro.retime import grar_retime
+
+        text = grar_retime(fig4, overhead=1.0).summary()
+        assert "grar-flow[fig4" in text
+
+    def test_legality_summary_strings(self, fig4):
+        from repro.latches import SlavePlacement
+
+        good = fig4.check_legality(
+            SlavePlacement(retimed={"I1", "I2", "G3", "G4", "G5", "G6"})
+        )
+        assert good.summary() == "legal"
+        bad = fig4.check_legality(SlavePlacement(retimed={"G6"}))
+        assert "negative edges" in bad.summary()
+
+
+class TestFig4Module:
+    def test_scheme_values(self):
+        scheme = fig4_scheme()
+        assert scheme.period == 10.0
+        assert scheme.max_path_delay == 12.5
+
+    def test_netlist_shape(self):
+        netlist = fig4_netlist()
+        assert {g.name for g in netlist.inputs()} == {"I1", "I2"}
+        assert {g.name for g in netlist.outputs()} == {"O9", "O10"}
+        # Fig. 5's mirror nodes exist exactly for the 2-fanout gates.
+        assert len(netlist.fanouts("I2")) == 2
+        assert len(netlist.fanouts("G3")) == 2
+        assert len(netlist.fanouts("I1")) == 1
+
+
+class TestEngineOffsets:
+    def test_source_offsets_shift_arrivals(self, tiny_netlist, library):
+        from repro.sta import TimingEngine
+
+        plain = TimingEngine(tiny_netlist, library)
+        shifted = TimingEngine(
+            tiny_netlist, library, source_offsets={"a": 1.0}
+        )
+        # With a large offset, the a-path dominates g1's arrival.
+        assert shifted.forward_arrival("g1") >= (
+            plain.forward_arrival("g1") + 0.9
+        )
+        assert shifted.forward_arrival("g1") <= (
+            plain.forward_arrival("g1") + 1.0 + 1e-9
+        )
+
+
+class TestClockTree:
+    def test_tree_estimate_levels(self, library):
+        from repro.analysis import estimate_tree
+
+        est = estimate_tree(144, library, fanout=12)
+        # 144 sinks -> 12 leaf buffers -> 1 root buffer.
+        assert est.buffers == 13
+        assert est.area > 0
+
+    def test_zero_sinks(self, library):
+        from repro.analysis import estimate_tree
+
+        assert estimate_tree(0, library).buffers == 0
+
+    def test_bad_inputs(self, library):
+        from repro.analysis import estimate_tree
+        import pytest as _pytest
+
+        with _pytest.raises(ValueError):
+            estimate_tree(-1, library)
+        with _pytest.raises(ValueError):
+            estimate_tree(10, library, fanout=1)
+
+    def test_two_phase_pays_overhead(self, small_netlist, library):
+        """Section VI-D caveat: two trees cost more than one."""
+        from repro.analysis import compare_clock_trees
+        from repro.flows import prepare_circuit, run_flow
+
+        scheme, _ = prepare_circuit(small_netlist.copy(), library)
+        outcome = run_flow(
+            "grar", small_netlist, library, 1.0, scheme=scheme
+        )
+        comparison = compare_clock_trees(
+            outcome, n_flops=len(small_netlist.flops()), library=library
+        )
+        assert comparison.overhead >= 0
+        assert comparison.latch_design_area >= comparison.flop_tree.area
+
+
+class TestGraphNamespaceGuard:
+    def test_hash_names_rejected(self, library):
+        from repro.flows import prepare_circuit
+        from repro.netlist import Gate, GateType, Netlist
+        from repro.retime import build_retiming_graph, compute_regions
+
+        netlist = Netlist("bad")
+        netlist.add(Gate("a", GateType.INPUT))
+        netlist.add(Gate("g##m", GateType.COMB, ("a",), cell="INV_X1"))
+        netlist.add(Gate("ff", GateType.DFF, ("g##m",), cell="DFF_X1"))
+        from repro.clocks import scheme_from_period
+        from repro.latches import TwoPhaseCircuit
+
+        circuit = TwoPhaseCircuit(
+            netlist, scheme_from_period(1.0), library
+        )
+        regions = compute_regions(circuit)
+        with pytest.raises(ValueError, match="namespace"):
+            build_retiming_graph(circuit, regions)

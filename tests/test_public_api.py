@@ -1,0 +1,52 @@
+"""The package's public face: top-level exports and their coherence."""
+
+import pytest
+
+import repro
+
+
+class TestTopLevel:
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_quickstart_shape(self):
+        """The README's quickstart, condensed."""
+        library = repro.default_library()
+        netlist = repro.build_benchmark("s1488", library)
+        scheme, _ = repro.prepare_circuit(netlist, library)
+        base = repro.run_flow(
+            "base", netlist, library, overhead=1.0, scheme=scheme
+        )
+        grar = repro.run_flow(
+            "grar", netlist, library, overhead=1.0, scheme=scheme
+        )
+        assert grar.sequential_area <= base.sequential_area * 1.05
+
+    def test_methods_list_is_complete(self):
+        for method in repro.METHODS:
+            assert isinstance(method, str)
+        assert "grar" in repro.METHODS and "base" in repro.METHODS
+
+    def test_suite_names_cover_paper(self):
+        names = repro.suite_names()
+        assert len(names) == 12
+        assert names[-1] == "plasma"
+
+
+class TestPaperRegistryConsistency:
+    def test_profiles_match_registry(self):
+        from repro.circuits import BENCHMARK_PROFILES
+        from repro.harness.paper import PAPER_TABLE1
+
+        for name, (period, flops, nce, area) in PAPER_TABLE1.items():
+            if name == "plasma":
+                continue  # built structurally, no generator profile
+            profile = BENCHMARK_PROFILES[name]
+            assert profile.n_flops == flops
+            assert profile.paper_nce == nce
+            assert profile.paper_area == pytest.approx(area)
+            assert profile.paper_period_ns == pytest.approx(period)

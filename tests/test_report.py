@@ -1,0 +1,72 @@
+"""Tests for the report_timing-style text reports."""
+
+import pytest
+
+from repro.sta import TimingEngine
+from repro.sta.report import report_timing, report_worst_paths
+
+
+@pytest.fixture()
+def engine(small_netlist, library):
+    return TimingEngine(small_netlist, library)
+
+
+class TestReportTiming:
+    def test_contains_start_and_endpoint(self, engine):
+        endpoint = engine.endpoints()[0].name
+        report = report_timing(engine, endpoint)
+        assert f"Endpoint:   {endpoint}" in report.text
+        assert "Startpoint:" in report.text
+        assert report.required is None
+        assert report.slack is None
+        assert report.met
+
+    def test_arrival_line_matches_engine(self, engine):
+        endpoint = engine.endpoints()[0].name
+        report = report_timing(engine, endpoint)
+        assert f"{engine.endpoint_arrival(endpoint):.4f}" in report.text
+
+    def test_slack_met(self, engine):
+        endpoint = engine.endpoints()[0].name
+        arrival = engine.endpoint_arrival(endpoint)
+        report = report_timing(engine, endpoint, required=arrival + 1.0)
+        assert report.met
+        assert "MET" in report.text
+        assert report.slack == pytest.approx(1.0)
+
+    def test_slack_violated(self, engine):
+        endpoint = max(
+            (g.name for g in engine.endpoints()),
+            key=engine.endpoint_arrival,
+        )
+        report = report_timing(engine, endpoint, required=0.0)
+        assert not report.met
+        assert "VIOLATED" in report.text
+
+    def test_increments_sum_to_arrival(self, engine):
+        """The incr column must accumulate to the reported arrival
+        (within the rise/fall refinement tolerance)."""
+        endpoint = engine.endpoints()[0].name
+        report = report_timing(engine, endpoint)
+        path = report.path
+        total = sum(
+            engine.edge_delay(a, b)
+            for a, b in zip(path.gates, path.gates[1:])
+        )
+        assert total >= path.arrival - 1e-9
+
+
+class TestWorstPaths:
+    def test_multiple_blocks(self, engine):
+        text = report_worst_paths(engine, count=3)
+        assert text.count("Startpoint:") == 3
+
+    def test_ordered_by_arrival(self, engine):
+        text = report_worst_paths(engine, count=2)
+        blocks = text.split("=" * 48)
+        arrivals = []
+        for block in blocks:
+            for line in block.splitlines():
+                if "data arrival time" in line:
+                    arrivals.append(float(line.split()[-1]))
+        assert arrivals == sorted(arrivals, reverse=True)

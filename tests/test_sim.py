@@ -1,0 +1,219 @@
+"""Tests for the timed logic simulator and error-rate estimation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.flows import prepare_circuit, run_flow
+from repro.latches import SlavePlacement
+from repro.retime import base_retime
+from repro.sim import (
+    TimedSimulator,
+    VectorSource,
+    Waveform,
+    estimate_error_rate,
+    random_vectors,
+)
+
+
+class TestWaveform:
+    def test_value_at(self):
+        wave = Waveform(initial=0, events=[(1.0, 1), (2.0, 0)])
+        assert wave.value_at(0.5) == 0
+        assert wave.value_at(1.0) == 1
+        assert wave.value_at(1.5) == 1
+        assert wave.value_at(3.0) == 0
+        assert wave.final == 0
+
+    def test_transition_times_prunes_null_events(self):
+        wave = Waveform(initial=0, events=[(1.0, 0), (2.0, 1), (3.0, 1)])
+        assert wave.transition_times() == [2.0]
+
+    def test_step(self):
+        assert Waveform.step(0, 1.0, 1).events == [(1.0, 1)]
+        assert Waveform.step(1, 1.0, 1).events == []
+
+    def test_normalized_sorts_and_dedups(self):
+        wave = Waveform(initial=0, events=[(2.0, 1), (1.0, 1), (3.0, 1)])
+        assert wave.normalized().events == [(1.0, 1)]
+
+
+class TestVectors:
+    def test_deterministic(self):
+        a = list(random_vectors(["x", "y"], 5, seed=3))
+        b = list(random_vectors(["x", "y"], 5, seed=3))
+        assert a == b
+
+    def test_toggle_probability_bounds(self):
+        with pytest.raises(ValueError):
+            VectorSource(["x"], toggle_probability=1.5)
+
+    def test_zero_toggle_is_constant(self):
+        source = VectorSource(["x", "y"], seed=1, toggle_probability=0.0)
+        first = source.next_vector()
+        assert source.next_vector() == first
+
+
+class TestSimulatorSemantics:
+    def test_final_values_match_steady_state(self, small_prepared):
+        """After all transients, every net equals the boolean
+        evaluation of the launched values."""
+        _, circuit = small_prepared
+        simulator = TimedSimulator(circuit)
+        netlist = circuit.netlist
+        library = circuit.library
+        placement = SlavePlacement.initial()
+        state = {}
+        launch = {g.name: (hash(g.name) & 1) for g in netlist.sources()}
+        waves = simulator.run_cycle(launch, placement, state)
+
+        expected = dict(launch)
+        for name in netlist.topo_order():
+            gate = netlist[name]
+            if not gate.is_comb:
+                continue
+            cell = library[gate.cell]
+            expected[name] = cell.evaluate(
+                [expected[f] for f in gate.fanins]
+            )
+        for name, value in expected.items():
+            assert waves[name].final == value, name
+
+    def test_latch_holds_until_open(self, small_prepared):
+        """No net downstream of an initial-position slave toggles
+        before the transparency opening."""
+        _, circuit = small_prepared
+        simulator = TimedSimulator(circuit)
+        placement = SlavePlacement.initial()
+        state = {}
+        launch = {g.name: 1 for g in circuit.netlist.sources()}
+        waves = simulator.run_cycle(launch, placement, state)
+        t_open = circuit.scheme.slave_open
+        for gate in circuit.netlist.comb_gates():
+            for when in waves[gate.name].transition_times():
+                assert when >= t_open - 1e-12
+
+    def test_cross_cycle_state_held(self, small_prepared):
+        _, circuit = small_prepared
+        simulator = TimedSimulator(circuit)
+        placement = SlavePlacement.initial()
+        state = {}
+        launch = {g.name: 1 for g in circuit.netlist.sources()}
+        simulator.run_cycle(launch, placement, state)
+        held = [v for k, v in state.items() if k.startswith("latch:")]
+        assert held and all(v in (0, 1) for v in held)
+
+    def test_simulated_arrivals_bounded_by_sta(self, small_prepared):
+        """Dynamic transition times never exceed the static arrival."""
+        _, circuit = small_prepared
+        simulator = TimedSimulator(circuit)
+        placement = SlavePlacement.initial()
+        state = {}
+        source = VectorSource(
+            [g.name for g in circuit.netlist.sources()], seed=11
+        )
+        static = circuit.endpoint_arrivals(placement)
+        for _ in range(6):
+            waves = simulator.run_cycle(
+                source.next_vector(), placement, state
+            )
+            for gate in circuit.netlist.endpoints():
+                key = (
+                    f"{gate.name}::d" if gate.is_flop else gate.name
+                )
+                for when in waves[key].transition_times():
+                    assert when <= static[gate.name] + 1e-6
+
+
+class TestErrorRate:
+    def test_non_edl_never_toggles_in_window(self, small_prepared):
+        """The flows' legality guarantee, checked dynamically."""
+        scheme, circuit = small_prepared
+        result = base_retime(circuit, overhead=1.0)
+        edl = circuit.edl_endpoints(result.placement)
+        report = estimate_error_rate(
+            circuit, result.placement, edl, cycles=48, seed=5
+        )
+        assert report.non_edl_violations == 0
+
+    def test_rate_bounds(self, small_prepared):
+        scheme, circuit = small_prepared
+        result = base_retime(circuit, overhead=1.0)
+        edl = circuit.edl_endpoints(result.placement)
+        report = estimate_error_rate(
+            circuit, result.placement, edl, cycles=32, seed=5
+        )
+        assert 0.0 <= report.error_rate <= 100.0
+        assert report.error_cycles <= report.cycles
+
+    def test_no_edl_no_errors(self, small_prepared):
+        """With every endpoint marked non-EDL, errors cannot be
+        attributed (and there must be no window toggles if the design
+        is clean)."""
+        scheme, circuit = small_prepared
+        result = base_retime(circuit, overhead=1.0)
+        report = estimate_error_rate(
+            circuit, result.placement, set(), cycles=24, seed=5
+        )
+        assert report.error_cycles == 0
+
+    def test_deterministic(self, small_prepared):
+        scheme, circuit = small_prepared
+        result = base_retime(circuit, overhead=1.0)
+        edl = circuit.edl_endpoints(result.placement)
+        a = estimate_error_rate(
+            circuit, result.placement, edl, cycles=32, seed=9
+        )
+        b = estimate_error_rate(
+            circuit, result.placement, edl, cycles=32, seed=9
+        )
+        assert a.error_rate == b.error_rate
+        assert a.per_endpoint == b.per_endpoint
+
+
+class TestVcd:
+    def test_header_and_dumpvars(self):
+        from repro.sim import vcd_text
+
+        waves = {
+            "a": Waveform(initial=0, events=[(0.1, 1)]),
+            "b": Waveform(initial=1, events=[]),
+        }
+        text = vcd_text(waves)
+        assert "$timescale 1fs $end" in text
+        assert "$var wire 1" in text
+        assert "$dumpvars" in text
+        # a's transition at 0.1 ns = 100000 fs.
+        assert "#100000" in text
+
+    def test_selected_signals(self):
+        from repro.sim import vcd_text
+
+        waves = {
+            "a": Waveform(initial=0),
+            "b": Waveform(initial=1),
+        }
+        text = vcd_text(waves, signals=["b"])
+        assert " b " in text and " a " not in text
+
+    def test_missing_signal(self):
+        from repro.sim import vcd_text
+
+        with pytest.raises(KeyError):
+            vcd_text({}, signals=["ghost"])
+
+    def test_cycle_dump_from_simulator(self, small_prepared):
+        from repro.latches import SlavePlacement
+        from repro.sim import TimedSimulator, vcd_text
+
+        _, circuit = small_prepared
+        simulator = TimedSimulator(circuit)
+        launch = {g.name: 1 for g in circuit.netlist.sources()}
+        waves = simulator.run_cycle(
+            launch, SlavePlacement.initial(), {}
+        )
+        endpoints = [
+            f"{g.name}::d" if g.is_flop else g.name
+            for g in circuit.netlist.endpoints()
+        ][:4]
+        text = vcd_text(waves, signals=endpoints)
+        assert text.count("$var wire 1") == 4

@@ -1,0 +1,162 @@
+"""Tests for the network-simplex min-cost-flow solver."""
+
+from fractions import Fraction
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.retime.simplex import (
+    InfeasibleFlowError,
+    NetworkSimplex,
+    UnboundedFlowError,
+)
+
+
+def solve(nodes, arcs, demands):
+    simplex = NetworkSimplex(nodes, arcs, demands)
+    result = simplex.solve()
+    assert simplex.verify(result) == []
+    return result
+
+
+class TestBasics:
+    def test_single_arc(self):
+        result = solve(
+            ["s", "t"], [("s", "t", 3)], {"s": Fraction(-2), "t": Fraction(2)}
+        )
+        assert result.objective == 6
+        assert list(result.flows.values()) == [Fraction(2)]
+
+    def test_two_routes_picks_cheap(self):
+        nodes = ["s", "a", "b", "t"]
+        arcs = [
+            ("s", "a", 1), ("a", "t", 1),
+            ("s", "b", 5), ("b", "t", 5),
+        ]
+        demands = {"s": Fraction(-1), "t": Fraction(1)}
+        result = solve(nodes, arcs, demands)
+        assert result.objective == 2
+
+    def test_zero_demand_zero_flow(self):
+        result = solve(["a", "b"], [("a", "b", 1)], {})
+        assert result.objective == 0
+        assert result.flows == {}
+
+    def test_unbalanced_rejected(self):
+        with pytest.raises(InfeasibleFlowError):
+            NetworkSimplex(["a"], [], {"a": Fraction(1)})
+
+    def test_disconnected_infeasible(self):
+        simplex = NetworkSimplex(
+            ["a", "b"], [], {"a": Fraction(-1), "b": Fraction(1)}
+        )
+        with pytest.raises(InfeasibleFlowError):
+            simplex.solve()
+
+    def test_negative_cycle_unbounded(self):
+        simplex = NetworkSimplex(
+            ["a", "b"],
+            [("a", "b", -1), ("b", "a", -1)],
+            {},
+        )
+        with pytest.raises(UnboundedFlowError):
+            simplex.solve()
+
+    def test_negative_cost_arc_ok(self):
+        """Negative costs without negative cycles are fine (the
+        retiming graph's Vm bound edges have cost -1)."""
+        result = solve(
+            ["s", "t"],
+            [("s", "t", -2), ("t", "s", 5)],
+            {"s": Fraction(-1), "t": Fraction(1)},
+        )
+        assert result.objective == -2
+
+    def test_fractional_demands(self):
+        result = solve(
+            ["s", "a", "t"],
+            [("s", "a", 1), ("a", "t", 1), ("s", "t", 3)],
+            {
+                "s": Fraction(-3, 2),
+                "a": Fraction(1, 2),
+                "t": Fraction(1),
+            },
+        )
+        # s->a carries 3/2? a absorbs 1/2 and forwards 1 to t.
+        assert result.objective == Fraction(3, 2) + 1
+
+    def test_duplicate_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkSimplex(["a", "a"], [], {})
+
+    def test_potentials_integral(self):
+        result = solve(
+            ["s", "m", "t"],
+            [("s", "m", 2), ("m", "t", 7), ("s", "t", 11)],
+            {"s": Fraction(-2), "m": Fraction(0), "t": Fraction(2)},
+        )
+        for value in result.potentials.values():
+            assert isinstance(value, int)
+
+
+class TestTransportation:
+    def test_classic_instance(self):
+        """2 suppliers x 3 consumers transportation problem, checked
+        against networkx."""
+        nodes = ["s1", "s2", "c1", "c2", "c3"]
+        arcs = [
+            ("s1", "c1", 4), ("s1", "c2", 2), ("s1", "c3", 5),
+            ("s2", "c1", 3), ("s2", "c2", 6), ("s2", "c3", 1),
+        ]
+        demands = {
+            "s1": Fraction(-30), "s2": Fraction(-20),
+            "c1": Fraction(15), "c2": Fraction(20), "c3": Fraction(15),
+        }
+        result = solve(nodes, arcs, demands)
+
+        graph = nx.DiGraph()
+        for node, demand in demands.items():
+            graph.add_node(node, demand=int(demand))
+        for tail, head, cost in arcs:
+            graph.add_edge(tail, head, weight=cost)
+        expected = nx.min_cost_flow_cost(graph)
+        assert result.objective == expected
+
+
+@st.composite
+def flow_instances(draw):
+    """Random connected min-cost-flow instances with integer demands."""
+    n = draw(st.integers(min_value=2, max_value=7))
+    nodes = [f"n{i}" for i in range(n)]
+    # A spanning chain guarantees connectivity both ways.
+    arcs = []
+    for i in range(n - 1):
+        arcs.append((nodes[i], nodes[i + 1], draw(st.integers(0, 9))))
+        arcs.append((nodes[i + 1], nodes[i], draw(st.integers(0, 9))))
+    extra = draw(st.integers(min_value=0, max_value=8))
+    for _ in range(extra):
+        a = draw(st.sampled_from(nodes))
+        b = draw(st.sampled_from(nodes))
+        if a != b:
+            arcs.append((a, b, draw(st.integers(0, 9))))
+    supplies = [draw(st.integers(-5, 5)) for _ in range(n - 1)]
+    supplies.append(-sum(supplies))
+    demands = {node: Fraction(s) for node, s in zip(nodes, supplies)}
+    return nodes, arcs, demands
+
+
+class TestAgainstNetworkx:
+    @given(flow_instances())
+    @settings(max_examples=60, deadline=None)
+    def test_objective_matches_networkx(self, instance):
+        nodes, arcs, demands = instance
+        result = solve(nodes, arcs, demands)
+
+        graph = nx.MultiDiGraph()
+        for node, demand in demands.items():
+            graph.add_node(node, demand=int(demand))
+        for tail, head, cost in arcs:
+            graph.add_edge(tail, head, weight=cost)
+        expected = nx.min_cost_flow_cost(graph)
+        assert result.objective == expected

@@ -1,0 +1,31 @@
+"""Every Table I circuit builds, validates, and calibrates."""
+
+import pytest
+
+from repro.circuits import BENCHMARK_PROFILES, build_benchmark, suite_names
+from repro.flows import prepare_circuit
+from repro.harness.paper import PAPER_TABLE1
+from repro.latches.conversion import original_flop_report
+from repro.netlist import validate
+
+
+@pytest.mark.parametrize("name", suite_names())
+def test_profile_builds_and_calibrates(name, library):
+    netlist = build_benchmark(name, library)
+    validate(netlist, library)
+
+    _, flops, paper_nce, _ = PAPER_TABLE1[name]
+    assert len(netlist.flops()) == flops
+
+    scheme, _ = prepare_circuit(netlist.copy(), library)
+    report = original_flop_report(netlist, scheme, library)
+    # NCE calibration: within half the paper's count (or ±6 for the
+    # tiny circuits where a couple of endpoints is half the budget).
+    assert abs(report.n_near_critical - paper_nce) <= max(
+        6, 0.5 * paper_nce
+    ), f"{name}: NCE {report.n_near_critical} vs paper {paper_nce}"
+
+    # The clock recipe holds.
+    assert scheme.window_open == pytest.approx(
+        0.7 * scheme.max_path_delay
+    )

@@ -1,0 +1,41 @@
+"""Tests for the area/error-rate trade-off sweep."""
+
+import pytest
+
+from repro.flows import error_rate_tradeoff, run_flow
+from repro.flows.tradeoff import TradeoffPoint
+
+
+class TestTradeoff:
+    def test_sweep_points(self, small_netlist, library, small_prepared):
+        scheme, _ = small_prepared
+        points = error_rate_tradeoff(
+            small_netlist,
+            library,
+            overhead=1.0,
+            budget_scales=(0.0, 2.0),
+            scheme=scheme,
+            cycles=24,
+        )
+        assert len(points) == 2
+        assert points[0].budget_scale == 0.0
+        # Budget never increases the EDL count.
+        assert points[1].n_edl <= points[0].n_edl
+        for point in points:
+            assert 0.0 <= point.error_rate <= 100.0
+            assert point.total_area > point.comb_area
+
+    def test_zero_budget_equals_disabled_rescue(
+        self, small_netlist, library, small_prepared
+    ):
+        scheme, _ = small_prepared
+        zero = run_flow(
+            "grar", small_netlist, library, 1.0,
+            scheme=scheme, rescue_budget_scale=0.0,
+        )
+        assert zero.rescue is not None
+        assert not zero.rescue.rescued
+
+    def test_point_row(self):
+        point = TradeoffPoint(1.0, 123.456, 100.0, 3, 12.345)
+        assert point.row() == (1.0, 123.5, 100.0, 3, 12.35)

@@ -1,0 +1,120 @@
+"""Tests for structural Verilog I/O."""
+
+import io
+
+import pytest
+
+from repro.netlist import validate
+from repro.netlist.verilog import (
+    VerilogError,
+    parse_verilog,
+    verilog_text,
+    write_verilog,
+)
+
+
+class TestWriter:
+    def test_module_shape(self, tiny_netlist, library):
+        text = verilog_text(tiny_netlist, library)
+        assert text.startswith("module tiny (")
+        assert "endmodule" in text
+        assert "input clk;" in text
+        assert ".CK(clk)" in text
+
+    def test_instances_name_cells(self, tiny_netlist, library):
+        text = verilog_text(tiny_netlist, library)
+        assert "NAND2_X1 u_g1" in text
+        assert "DFF_X1 u_f1" in text
+        assert "assign y = g4;" in text
+
+
+class TestRoundTrip:
+    def test_tiny_roundtrip(self, tiny_netlist, library):
+        text = verilog_text(tiny_netlist, library)
+        again = parse_verilog(text, library)
+        assert again.stats() == tiny_netlist.stats()
+        for gate in tiny_netlist:
+            assert gate.name in again
+            assert again[gate.name].fanins == gate.fanins
+            assert again[gate.name].cell == gate.cell
+        validate(again, library)
+
+    def test_generated_roundtrip(self, small_netlist, library):
+        text = verilog_text(small_netlist, library)
+        again = parse_verilog(io.StringIO(text), library)
+        assert again.stats() == small_netlist.stats()
+        # Cell choices (drive strengths) survive the round trip.
+        for gate in small_netlist.comb_gates():
+            assert again[gate.name].cell == gate.cell
+
+    def test_roundtrip_preserves_timing(self, small_netlist, library):
+        from repro.sta import TimingEngine
+
+        text = verilog_text(small_netlist, library)
+        again = parse_verilog(text, library)
+        a = TimingEngine(small_netlist, library).worst_arrival()
+        b = TimingEngine(again, library).worst_arrival()
+        assert a == pytest.approx(b)
+
+
+class TestParserErrors:
+    def test_no_module(self, library):
+        with pytest.raises(VerilogError, match="module"):
+            parse_verilog("wire x;", library)
+
+    def test_missing_endmodule(self, library):
+        with pytest.raises(VerilogError, match="endmodule"):
+            parse_verilog("module m (a); input a;", library)
+
+    def test_unknown_cell(self, library):
+        text = (
+            "module m (a, y, clk); input a; input clk; output y;\n"
+            "FROB_X9 u1 (.A(a), .Z(n));\nassign y = n;\nendmodule\n"
+        )
+        with pytest.raises(VerilogError, match="unknown cell"):
+            parse_verilog(text, library)
+
+    def test_missing_pin(self, library):
+        text = (
+            "module m (a, y, clk); input a; input clk; output y;\n"
+            "wire n;\nNAND2_X1 u1 (.A(a), .Z(n));\n"
+            "assign y = n;\nendmodule\n"
+        )
+        with pytest.raises(VerilogError, match="missing pin"):
+            parse_verilog(text, library)
+
+    def test_undriven_output(self, library):
+        text = (
+            "module m (a, y, clk); input a; input clk; output y;\n"
+            "endmodule\n"
+        )
+        with pytest.raises(VerilogError, match="no assign driver"):
+            parse_verilog(text, library)
+
+    def test_comments_stripped(self, tiny_netlist, library):
+        text = verilog_text(tiny_netlist, library)
+        text = "// header comment\n/* block\ncomment */\n" + text
+        again = parse_verilog(text, library)
+        assert again.stats() == tiny_netlist.stats()
+
+
+class TestRoundTripProperty:
+    @pytest.mark.parametrize("seed", [3, 11, 42])
+    def test_random_circuits_roundtrip(self, seed, library):
+        from repro.circuits.generator import CloudSpec, generate_circuit
+
+        spec = CloudSpec(
+            name=f"v{seed}",
+            seed=seed,
+            n_inputs=4,
+            n_outputs=3,
+            n_flops=6,
+            n_gates=70,
+            depth=5,
+            critical_fraction=0.2,
+        )
+        netlist = generate_circuit(spec, library)
+        again = parse_verilog(verilog_text(netlist, library), library)
+        assert again.stats() == netlist.stats()
+        for gate in netlist:
+            assert again[gate.name].fanins == gate.fanins

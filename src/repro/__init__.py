@@ -14,13 +14,24 @@ Public API quick reference::
         run_flow,            # "base" / "grar" / "rvl" / ... end to end
         estimate_error_rate, # Table VIII simulation
         ExperimentSuite,     # Tables I-IX drivers
+        ReproError,          # root of the exception taxonomy
+        GuardPolicy,         # inter-stage invariant checkpoints
     )
 """
 
 from repro.cells import build_virtual_library, default_library
 from repro.circuits import build_benchmark, suite_names
 from repro.clocks import ClockScheme, scheme_from_period
+from repro.errors import (
+    FlowStageError,
+    InvariantError,
+    NetlistError,
+    ReproError,
+    SolverError,
+    TimingError,
+)
 from repro.flows import FlowOutcome, METHODS, prepare_circuit, run_flow
+from repro.guard import Guard, GuardPolicy
 from repro.harness import ExperimentSuite
 from repro.latches import SlavePlacement, TwoPhaseCircuit
 from repro.netlist import Netlist, NetlistBuilder, parse_bench, validate
@@ -34,7 +45,15 @@ __all__ = [
     "ClockScheme",
     "ExperimentSuite",
     "FlowOutcome",
+    "FlowStageError",
+    "Guard",
+    "GuardPolicy",
+    "InvariantError",
     "METHODS",
+    "NetlistError",
+    "ReproError",
+    "SolverError",
+    "TimingError",
     "Netlist",
     "NetlistBuilder",
     "SlavePlacement",

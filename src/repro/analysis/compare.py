@@ -45,6 +45,10 @@ def summarize_outcomes(
 
 
 def average(values: Iterable[float]) -> float:
-    """Arithmetic mean (0.0 for an empty sequence)."""
-    values = list(values)
+    """Arithmetic mean (0.0 for an empty sequence).
+
+    NaN entries — FAILED cells from isolated circuit failures — are
+    skipped so one bad circuit does not poison a whole-suite average.
+    """
+    values = [v for v in values if v == v]
     return sum(values) / len(values) if values else 0.0

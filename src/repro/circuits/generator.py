@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.cells.library import Library
+from repro.errors import NetlistError
 from repro.netlist.netlist import Gate, GateType, Netlist
 
 #: (function, n_inputs, sampling weight) for the random cloud.
@@ -113,7 +114,11 @@ def generate_circuit(spec: CloudSpec, library: Library) -> Netlist:
         if alive >= 0.9 * spec.n_gates:
             break
         budget = int(budget * spec.n_gates / max(1, alive)) + 1
-    assert netlist is not None
+    if netlist is None:
+        raise NetlistError(
+            [f"generator produced no netlist for spec {spec.name!r}"],
+            circuit=spec.name,
+        )
     _upsize_heavy_drivers(netlist, library)
     netlist.topo_order()  # validate
     return netlist

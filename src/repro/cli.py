@@ -10,20 +10,83 @@ Commands
     Regenerate the paper's tables on a circuit selection.
 ``example``
     Print the Fig. 4 worked example.
+
+Every failure maps to a distinct nonzero exit code so shell pipelines
+and CI can tell failure classes apart without parsing stderr:
+
+====  ==========================================================
+code  meaning
+====  ==========================================================
+2     usage error (unknown circuit, bad flag value)
+3     netlist error (:class:`~repro.errors.NetlistError`)
+4     timing error (:class:`~repro.errors.TimingError`)
+5     solver error (:class:`~repro.errors.SolverError`)
+6     flow-stage / invariant error
+      (:class:`~repro.errors.FlowStageError`)
+7     ``tables`` completed but isolated circuit failures occurred
+====  ==========================================================
+
+``--json-errors`` prints the structured ``to_dict()`` form of the
+error on stderr as one JSON object, for machine consumption.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
 from repro.cells import default_library
 from repro.circuits import build_benchmark, suite_names
+from repro.errors import (
+    FlowStageError,
+    NetlistError,
+    ReproError,
+    SolverError,
+    TimingError,
+)
 from repro.flows import METHODS, prepare_circuit, run_flow
 from repro.harness import ExperimentSuite
 from repro.harness.paper import PAPER_TABLE1
 from repro.sim import estimate_error_rate
+
+#: Exit codes per failure class (see module docstring).
+EXIT_USAGE = 2
+EXIT_NETLIST = 3
+EXIT_TIMING = 4
+EXIT_SOLVER = 5
+EXIT_FLOW = 6
+EXIT_PARTIAL = 7
+
+
+def _exit_code(error: ReproError) -> int:
+    if isinstance(error, NetlistError):
+        return EXIT_NETLIST
+    if isinstance(error, TimingError):
+        return EXIT_TIMING
+    if isinstance(error, SolverError):
+        return EXIT_SOLVER
+    if isinstance(error, FlowStageError):
+        return EXIT_FLOW
+    return EXIT_FLOW
+
+
+def _report_error(error: BaseException, args: argparse.Namespace) -> None:
+    if getattr(args, "json_errors", False):
+        if isinstance(error, ReproError):
+            payload = error.to_dict()
+        else:
+            payload = {
+                "type": type(error).__name__,
+                "message": str(error),
+                "stage": None,
+                "circuit": None,
+                "payload": {},
+            }
+        print(json.dumps(payload), file=sys.stderr)
+    else:
+        print(f"error: {error}", file=sys.stderr)
 
 
 def _cmd_list(_: argparse.Namespace) -> int:
@@ -37,6 +100,8 @@ def _cmd_list(_: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    if args.overhead < 0:
+        raise ValueError("--overhead must be non-negative")
     library = default_library()
     netlist = build_benchmark(args.circuit, library)
     scheme, _ = prepare_circuit(netlist, library)
@@ -46,9 +111,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
         f"window={scheme.resiliency_window:.4f}"
     )
     outcome = run_flow(
-        args.method, netlist, library, args.overhead, scheme=scheme
+        args.method, netlist, library, args.overhead, scheme=scheme,
+        guard=args.guard,
     )
     print(outcome.summary())
+    if args.guard and args.guard != "off":
+        for record in outcome.guard_records:
+            status = "ok" if record.ok else "VIOLATED"
+            line = f"guard[{record.stage}] {record.checkpoint}: {status}"
+            if record.problems:
+                line += f" — {record.problems[0]}"
+            print(line)
     if args.error_rate:
         report = estimate_error_rate(
             outcome.circuit,
@@ -67,7 +140,13 @@ def _cmd_tables(args: argparse.Namespace) -> int:
     circuits = args.circuits or ["s1196", "s1238", "s1423", "s1488"]
     if circuits == ["full"]:
         circuits = suite_names()
-    suite = ExperimentSuite(circuits=circuits, error_rate_cycles=args.cycles)
+    suite = ExperimentSuite(
+        circuits=circuits,
+        error_rate_cycles=args.cycles,
+        guard=args.guard,
+        isolate=args.isolate,
+        memo_path=args.memo,
+    )
     producers = [
         ("table i", suite.table1),
         ("table ii", suite.table2),
@@ -99,6 +178,23 @@ def _cmd_tables(args: argparse.Namespace) -> int:
         table = producer()
         print()
         print(table.render())
+    if suite.failures:
+        report = suite.failure_report()
+        print(
+            f"\n{report['n_failures']} run(s) FAILED; partial tables "
+            f"above", file=sys.stderr,
+        )
+        if args.json_errors:
+            print(json.dumps(report), file=sys.stderr)
+        else:
+            for entry in report["failures"]:
+                print(
+                    f"  {entry['circuit']}/{entry['method']}"
+                    f"[c={entry['overhead']}] in {entry['stage']}: "
+                    f"{entry['error'].get('message')}",
+                    file=sys.stderr,
+                )
+        return EXIT_PARTIAL
     return 0
 
 
@@ -129,6 +225,10 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Retiming of two-phase latch-based resilient circuits",
     )
+    parser.add_argument(
+        "--json-errors", action="store_true",
+        help="print failures as one JSON object on stderr",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list benchmark circuits").set_defaults(
@@ -143,6 +243,10 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--overhead", type=float, default=1.0)
     run.add_argument("--error-rate", action="store_true")
     run.add_argument("--cycles", type=int, default=192)
+    run.add_argument(
+        "--guard", default="off", choices=["off", "warn", "strict"],
+        help="inter-stage invariant checkpoints",
+    )
     run.set_defaults(func=_cmd_run)
 
     tables = sub.add_parser("tables", help="regenerate paper tables")
@@ -155,6 +259,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="filter, e.g. --tables 'table v' 'table viii'",
     )
     tables.add_argument("--cycles", type=int, default=128)
+    tables.add_argument(
+        "--guard", default="off", choices=["off", "warn", "strict"],
+        help="inter-stage invariant checkpoints",
+    )
+    tables.add_argument(
+        "--isolate", action="store_true",
+        help="record per-circuit failures and render partial tables",
+    )
+    tables.add_argument(
+        "--memo", default=None, metavar="PATH",
+        help="JSON memo of completed runs, for resuming a crashed suite",
+    )
     tables.set_defaults(func=_cmd_tables)
 
     sub.add_parser(
@@ -167,7 +283,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        _report_error(exc, args)
+        return _exit_code(exc)
+    except (KeyError, ValueError) as exc:
+        # Bad user input: unknown circuit name, negative overhead, ...
+        _report_error(exc, args)
+        return EXIT_USAGE
 
 
 if __name__ == "__main__":  # pragma: no cover

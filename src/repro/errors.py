@@ -1,0 +1,176 @@
+"""Structured exception taxonomy for the whole tool flow.
+
+Every failure the pipeline can diagnose is a :class:`ReproError`
+carrying three pieces of machine-readable context:
+
+* ``stage`` — the flow stage that failed (``prepare`` / ``retime`` /
+  ``sizing`` / ``finalize`` / ...);
+* ``circuit`` — the circuit being processed, when known;
+* ``payload`` — free-form diagnostic details (violated constraints,
+  solver attempt records, offending gate names, ...).
+
+The concrete classes mirror the subsystems:
+
+* :class:`NetlistError` — structural problems (missing drivers, bad
+  cells, parse failures);
+* :class:`TimingError` — timing-model and feasibility problems
+  (NaN/negative delays, clocks too tight for a legal cut);
+* :class:`SolverError` — min-cost-flow / LP breakdowns (infeasible,
+  unbounded, iteration budget, cycling, cross-check mismatch);
+* :class:`FlowStageError` — a stage of the end-to-end flow failed;
+  :class:`InvariantError` is its guard-checkpoint specialization.
+
+Each class also inherits the builtin exception its call sites
+historically raised (``ValueError`` / ``RuntimeError``), so existing
+``except`` clauses keep working while new code can catch the whole
+taxonomy with ``except ReproError``.  Unlike a bare ``assert``, these
+checks survive ``python -O``.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional, Union
+
+
+class ReproError(Exception):
+    """Base class: a diagnosable failure anywhere in the pipeline."""
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        stage: Optional[str] = None,
+        circuit: Optional[str] = None,
+        payload: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        super().__init__(message)
+        self.message = message
+        self.stage = stage
+        self.circuit = circuit
+        self.payload = dict(payload or {})
+
+    def annotate(
+        self, stage: Optional[str] = None, circuit: Optional[str] = None
+    ) -> "ReproError":
+        """Fill in missing context in place (never overwrites)."""
+        if self.stage is None:
+            self.stage = stage
+        if self.circuit is None:
+            self.circuit = circuit
+        return self
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Machine-readable form (JSON-serializable)."""
+        return {
+            "type": type(self).__name__,
+            "message": self.message,
+            "stage": self.stage,
+            "circuit": self.circuit,
+            "payload": _jsonable(self.payload),
+        }
+
+    def __str__(self) -> str:
+        prefix = ""
+        if self.stage or self.circuit:
+            where = "/".join(p for p in (self.circuit, self.stage) if p)
+            prefix = f"[{where}] "
+        return f"{prefix}{self.message}"
+
+
+class NetlistError(ReproError, ValueError):
+    """A netlist is structurally invalid or unparseable.
+
+    ``problems`` lists every issue found, so one validation pass
+    reports everything instead of failing on the first.
+    """
+
+    def __init__(
+        self,
+        problems: Union[str, List[str]],
+        *,
+        stage: Optional[str] = None,
+        circuit: Optional[str] = None,
+        payload: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        if isinstance(problems, str):
+            problems = [problems]
+        self.problems = list(problems)
+        merged = dict(payload or {})
+        merged.setdefault("problems", list(self.problems))
+        super().__init__(
+            "; ".join(self.problems),
+            stage=stage,
+            circuit=circuit,
+            payload=merged,
+        )
+
+
+class TimingError(ReproError, ValueError):
+    """Timing queries or timing feasibility broke down."""
+
+
+class SolverError(ReproError, RuntimeError):
+    """A flow/LP solver failed to produce a usable answer."""
+
+
+class UnboundedFlowError(SolverError):
+    """The flow problem is unbounded (a negative-cost cycle with no
+    reverse-arc limit) — indicates a malformed retiming graph."""
+
+
+class InfeasibleFlowError(SolverError):
+    """No flow satisfies the node demands."""
+
+
+class SolverTimeoutError(SolverError):
+    """A solver exceeded its iteration budget or wall-clock deadline."""
+
+
+class FlowStageError(ReproError, RuntimeError):
+    """One stage of the end-to-end flow failed."""
+
+
+class InvariantError(FlowStageError):
+    """An inter-stage guard checkpoint found a violated invariant."""
+
+
+#: Exception classes that must never be swallowed by isolation layers.
+_PASSTHROUGH = (KeyboardInterrupt, SystemExit, GeneratorExit)
+
+
+@contextmanager
+def stage_scope(
+    stage: str, circuit: Optional[str] = None
+) -> Iterator[None]:
+    """Attribute any failure inside the block to a named flow stage.
+
+    Typed :class:`ReproError` exceptions pass through with their
+    missing ``stage``/``circuit`` context filled in; anything else is
+    wrapped in a :class:`FlowStageError` so callers can rely on the
+    taxonomy instead of catching bare ``Exception``.
+    """
+    try:
+        yield
+    except ReproError as exc:
+        raise exc.annotate(stage=stage, circuit=circuit)
+    except _PASSTHROUGH:
+        raise
+    except Exception as exc:
+        raise FlowStageError(
+            f"stage {stage!r} failed: {exc}",
+            stage=stage,
+            circuit=circuit,
+            payload={"cause": type(exc).__name__},
+        ) from exc
+
+
+def _jsonable(value: Any) -> Any:
+    """Best-effort conversion of payloads to JSON-encodable values."""
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)

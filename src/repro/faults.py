@@ -1,0 +1,230 @@
+"""Fault injection for robustness testing of the flow pipeline.
+
+Every injector manufactures one specific failure class the guard /
+error-taxonomy layer must turn into a *typed*, *diagnosable* outcome —
+never an unhandled crash and never a silently wrong table:
+
+* :func:`corrupt_net` — dangling fanin reference (broken netlist);
+* :func:`truncate_bench` — ``.bench`` text cut off mid-line (broken
+  input file);
+* :class:`SabotagedCalculator` — NaN / negative / infinite delays from
+  the timing layer (broken characterization data);
+* :func:`sabotaged_circuit` — a :class:`TwoPhaseCircuit` wired to such
+  a calculator;
+* :func:`infeasible_scheme` — a clock so tight constraints (6) and (7)
+  conflict (no legal latch cut exists);
+* :func:`unbalanced_demands` — a flow instance whose demands do not
+  sum to zero (infeasible solver input);
+* :func:`chaotic_simplex` — a :class:`NetworkSimplex` whose pivot
+  selection is randomized, to exercise the anti-cycling and fallback
+  machinery.
+
+All randomness is injected through explicit :class:`random.Random`
+instances so property tests stay reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.clocks import ClockScheme
+from repro.netlist.netlist import Gate, Netlist
+from repro.sta.delay_models import PathBasedCalculator
+
+#: Fault kinds the injectors cover, for parametrized tests.
+FAULT_KINDS = (
+    "corrupt-net",
+    "truncated-bench",
+    "nan-delay",
+    "negative-delay",
+    "infeasible-cut",
+    "unbalanced-demands",
+    "pivot-chaos",
+)
+
+
+@dataclass
+class FaultReport:
+    """What was injected, so tests can assert on the diagnosis."""
+
+    kind: str
+    target: str
+    detail: Dict[str, object] = field(default_factory=dict)
+
+
+def corrupt_net(
+    netlist: Netlist, rng: random.Random, missing: str = "__ghost__"
+) -> FaultReport:
+    """Replace one comb gate's fanin with a driver that does not exist.
+
+    Mutates ``netlist`` in place (bypassing ``rewire_fanin``, which
+    refuses exactly this corruption) — the result is what a buggy
+    transformation or a bad parse would leave behind.
+    """
+    gates = [g for g in netlist.comb_gates() if g.fanins]
+    if not gates:
+        raise ValueError("netlist has no comb gates to corrupt")
+    victim = rng.choice(gates)
+    slot = rng.randrange(len(victim.fanins))
+    fanins = list(victim.fanins)
+    original = fanins[slot]
+    fanins[slot] = missing
+    netlist._gates[victim.name] = Gate(
+        victim.name, victim.gtype, tuple(fanins), cell=victim.cell
+    )
+    netlist._dirty = True
+    return FaultReport(
+        kind="corrupt-net",
+        target=victim.name,
+        detail={"slot": slot, "was": original, "now": missing},
+    )
+
+
+def truncate_bench(text: str, rng: random.Random) -> Tuple[str, FaultReport]:
+    """Cut ``.bench`` text mid-line, as an interrupted download would."""
+    lines = [l for l in text.splitlines() if "=" in l]
+    if not lines:
+        raise ValueError("bench text has no gate lines to truncate")
+    victim = rng.choice(lines)
+    cut = rng.randrange(victim.index("="), len(victim))
+    truncated = text[: text.index(victim) + cut]
+    return truncated, FaultReport(
+        kind="truncated-bench",
+        target=victim.strip(),
+        detail={"cut_at": cut},
+    )
+
+
+class SabotagedCalculator(PathBasedCalculator):
+    """A delay calculator that lies about a fraction of its edges.
+
+    ``mode`` is ``"nan"``, ``"negative"`` or ``"inf"``; ``rate`` is the
+    per-edge sabotage probability (decided once per edge, then cached
+    with the edge, so repeated queries stay consistent).
+    """
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        library,
+        mode: str = "nan",
+        rate: float = 0.05,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(netlist, library)
+        if mode not in ("nan", "negative", "inf"):
+            raise ValueError(f"unknown sabotage mode {mode!r}")
+        self.mode = mode
+        self.rate = rate
+        self._rng = random.Random(seed)
+        self._sabotaged: Dict[Tuple[str, str], bool] = {}
+        self.hits: List[Tuple[str, str]] = []
+
+    def _is_hit(self, driver: str, sink: str) -> bool:
+        key = (driver, sink)
+        hit = self._sabotaged.get(key)
+        if hit is None:
+            hit = self._rng.random() < self.rate
+            self._sabotaged[key] = hit
+            if hit:
+                self.hits.append(key)
+        return hit
+
+    def _lie(self, value: float) -> float:
+        if self.mode == "nan":
+            return float("nan")
+        if self.mode == "inf":
+            return float("inf")
+        return -abs(value) - 1.0
+
+    def edge_delay(self, driver: str, sink: str) -> float:
+        value = super().edge_delay(driver, sink)
+        if not self._is_hit(driver, sink):
+            return value
+        return self._lie(value)
+
+    def transition_edges(self, driver: str, sink: str):
+        # The engine's rise/fall forward DP reads this, not
+        # edge_delay, for path-based calculators — sabotage both.
+        triples = super().transition_edges(driver, sink)
+        if not self._is_hit(driver, sink):
+            return triples
+        return [
+            (in_r, out_r, self._lie(delay))
+            for in_r, out_r, delay in triples
+        ]
+
+
+def sabotaged_circuit(
+    netlist: Netlist,
+    scheme: ClockScheme,
+    library,
+    mode: str = "nan",
+    rate: float = 0.05,
+    seed: int = 0,
+):
+    """A :class:`TwoPhaseCircuit` timed by a lying calculator."""
+    from repro.latches.resilient import TwoPhaseCircuit
+
+    calculator = SabotagedCalculator(
+        netlist, library, mode=mode, rate=rate, seed=seed
+    )
+    return TwoPhaseCircuit(
+        netlist, scheme, library, calculator=calculator
+    )
+
+
+def infeasible_scheme(scheme: ClockScheme, squeeze: float = 0.25) -> ClockScheme:
+    """Shrink every phase so no legal slave-latch cut can exist.
+
+    With all windows scaled by ``squeeze`` the combinational delays
+    overrun both the forward limit (6) and the backward limit (7) on
+    the same gates, which :func:`repro.retime.regions.compute_regions`
+    reports as an infeasible Vm/Vn conflict.
+    """
+    return ClockScheme(
+        phi1=scheme.phi1 * squeeze,
+        gamma1=scheme.gamma1 * squeeze,
+        phi2=scheme.phi2 * squeeze,
+        gamma2=scheme.gamma2 * squeeze,
+    )
+
+
+def unbalanced_demands(
+    nodes: Sequence[str], rng: random.Random
+) -> Dict[str, Fraction]:
+    """Node demands that cannot balance (their sum is nonzero)."""
+    demands = {node: Fraction(rng.randint(-3, 3)) for node in nodes}
+    total = sum(demands.values())
+    first = next(iter(demands))
+    # Force a nonzero sum no matter what was drawn.
+    demands[first] += 1 - total
+    return demands
+
+
+def chaotic_simplex(
+    nodes: Sequence[str],
+    arcs: Sequence[Tuple[str, str, int]],
+    demands: Dict[str, Fraction],
+    seed: int = 0,
+    max_iterations: Optional[int] = None,
+):
+    """A :class:`NetworkSimplex` with randomized pivot selection.
+
+    The chaos RNG feeds the solver's ``pivot_chaos`` hook: entering
+    arcs are drawn uniformly from all eligible candidates instead of
+    by Dantzig pricing, maximizing degenerate wandering — the stress
+    input for the cycling detector and the iteration budget.
+    """
+    from repro.retime.simplex import NetworkSimplex
+
+    return NetworkSimplex(
+        nodes,
+        arcs,
+        demands,
+        max_iterations=max_iterations,
+        pivot_chaos=random.Random(seed),
+    )

@@ -17,11 +17,13 @@ owns the details that make cross-method comparisons fair:
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Set, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple, Union
 
 from repro.cells.library import Library
 from repro.clocks import ClockScheme, scheme_from_period
+from repro.errors import FlowStageError, stage_scope
+from repro.guard import CheckpointRecord, Guard, GuardPolicy
 from repro.latches.resilient import EPS, SequentialCost, TwoPhaseCircuit
 from repro.netlist.netlist import Netlist
 from repro.retime.base import base_retime
@@ -69,6 +71,8 @@ class FlowOutcome:
     cost: SequentialCost
     comb_area: float
     runtime_s: float
+    guard_records: List[CheckpointRecord] = field(default_factory=list)
+    solver_backend: str = ""
 
     @property
     def n_slaves(self) -> int:
@@ -134,6 +138,8 @@ def run_flow(
     sizing: bool = True,
     solver: str = "flow",
     rescue_budget_scale: float = 1.0,
+    solver_policy=None,
+    guard: Union[Guard, GuardPolicy, str, None] = None,
 ) -> FlowOutcome:
     """Run one method end to end on a private copy of ``netlist``.
 
@@ -141,29 +147,46 @@ def run_flow(
     disables the combinational speed-ups entirely, values above 1 buy
     error-rate reductions beyond the area-optimal point (the Section
     VI-D observation that ~5% extra area can drive error rates to 0).
+
+    ``solver_policy`` configures the min-cost-flow fallback chain
+    (:class:`repro.retime.mincostflow.SolverPolicy`); ``guard``
+    enables the inter-stage invariant checkpoints
+    (:class:`repro.guard.GuardPolicy` or its string name — or a
+    pre-built :class:`repro.guard.Guard` to share records).
     """
     if method not in METHODS:
         raise ValueError(f"unknown method {method!r}; choose from {METHODS}")
     started = time.perf_counter()
+    if isinstance(guard, Guard):
+        sentinel = guard
+        sentinel.circuit_name = sentinel.circuit_name or netlist.name
+    else:
+        sentinel = Guard(guard, circuit_name=netlist.name)
 
     delay_model = model or ("gate" if method == "grar-gate" else "path")
     working = netlist.copy()
-    if method == "rvl-movable":
-        # Release the do-not-retime constraint on the masters: the
-        # tool first repositions the flops themselves (Section V /
-        # Table IX), then the ordinary fixed-master RVL flow runs on
-        # the retimed netlist under the same clock.
-        from repro.retime.ffretime import ff_retime_min_area
+    with stage_scope("prepare", circuit=netlist.name):
+        if method == "rvl-movable":
+            # Release the do-not-retime constraint on the masters: the
+            # tool first repositions the flops themselves (Section V /
+            # Table IX), then the ordinary fixed-master RVL flow runs on
+            # the retimed netlist under the same clock.
+            from repro.retime.ffretime import ff_retime_min_area
 
-        if scheme is None:
-            scheme, _ = prepare_circuit(working, library, model=delay_model)
-        ff_result = ff_retime_min_area(
-            working, library, period=scheme.max_path_delay, model=delay_model
+            if scheme is None:
+                scheme, _ = prepare_circuit(
+                    working, library, model=delay_model
+                )
+            ff_result = ff_retime_min_area(
+                working, library,
+                period=scheme.max_path_delay, model=delay_model,
+            )
+            working = ff_result.netlist
+        scheme, circuit = prepare_circuit(
+            working, library, model=delay_model, scheme=scheme
         )
-        working = ff_result.netlist
-    scheme, circuit = prepare_circuit(
-        working, library, model=delay_model, scheme=scheme
-    )
+        sentinel.netlist_valid(working, library, "prepare")
+        sentinel.timing_sane(circuit, "prepare")
 
     # The gate-based decision model is deliberately pessimistic; its
     # region conflicts are artifacts, not real infeasibilities.
@@ -174,78 +197,95 @@ def run_flow(
     path_target = (window_open - 2 * circuit.latch_d_q) * 0.995
     rescue_report: Optional[RescueReport] = None
 
-    if method == "base":
-        retiming = base_retime(
-            circuit, overhead, solver=solver, conflict_policy=conflict_policy
-        )
-    elif method in ("grar", "grar-gate", "grar-lp"):
-        grar_solver = "lp" if method == "grar-lp" else solver
-        retiming = grar_retime(
-            circuit, overhead,
-            solver=grar_solver, conflict_policy=conflict_policy,
-        )
-        if sizing:
-            # Cost-aware EDL avoidance: speed the paths of masters the
-            # retimer could not rescue below Pi where doing so is
-            # cheaper than their EDL overhead, then re-retime so the
-            # slave positions (and credits) exploit the faster logic —
-            # the paper's "small area penalty to speed-up the
-            # combinational logic and avoid more EDLs".
-            candidates = [
-                name
-                for name in circuit.endpoint_names
-                if circuit.engine.endpoint_arrival(name) > path_target + EPS
-            ]
-            # Budget: the EDL overhead saved plus roughly one slave
-            # latch — rescued masters free their cut-set constraints,
-            # which the re-retiming converts into fewer slaves.
-            rescue_report = rescue_paths(
-                circuit,
-                candidates,
-                target=path_target,
-                budget_per_endpoint=(
-                    rescue_budget_scale
-                    * (1.0 + overhead)
-                    * circuit.latch_area
-                ),
+    with stage_scope("retime", circuit=netlist.name):
+        if method == "base":
+            retiming = base_retime(
+                circuit, overhead,
+                solver=solver, conflict_policy=conflict_policy,
+                solver_policy=solver_policy,
             )
-            if rescue_report.resized:
-                retiming = grar_retime(
-                    circuit, overhead,
-                    solver=grar_solver, conflict_policy=conflict_policy,
+        elif method in ("grar", "grar-gate", "grar-lp"):
+            grar_solver = "lp" if method == "grar-lp" else solver
+            retiming = grar_retime(
+                circuit, overhead,
+                solver=grar_solver, conflict_policy=conflict_policy,
+                solver_policy=solver_policy,
+            )
+            if sizing:
+                # Cost-aware EDL avoidance: speed the paths of masters
+                # the retimer could not rescue below Pi where doing so
+                # is cheaper than their EDL overhead, then re-retime so
+                # the slave positions (and credits) exploit the faster
+                # logic — the paper's "small area penalty to speed-up
+                # the combinational logic and avoid more EDLs".
+                candidates = [
+                    name
+                    for name in circuit.endpoint_names
+                    if circuit.engine.endpoint_arrival(name)
+                    > path_target + EPS
+                ]
+                # Budget: the EDL overhead saved plus roughly one slave
+                # latch — rescued masters free their cut-set
+                # constraints, which the re-retiming converts into
+                # fewer slaves.
+                rescue_report = rescue_paths(
+                    circuit,
+                    candidates,
+                    target=path_target,
+                    budget_per_endpoint=(
+                        rescue_budget_scale
+                        * (1.0 + overhead)
+                        * circuit.latch_area
+                    ),
                 )
-    elif method in ("evl", "nvl", "rvl", "rvl-noswap", "rvl-movable"):
-        variant = VlVariant(method.split("-")[0])
-        types = initial_types(circuit, variant)
-        # The typing instantiates the virtual-library cells up front;
-        # error-detecting masters load their drivers harder (Fig. 2).
-        _apply_master_cells(
-            circuit, {name for name, is_edl in types.items() if is_edl}
-        )
-        if sizing:
-            # The virtual library's extended-setup non-EDL latches
-            # force the tool to keep their arrivals out of the window;
-            # paths that cannot are sped up unconditionally (the typing
-            # is committed).  EDL-typed masters exert no setup pressure
-            # — the decoupling the paper measures.
-            mandatory = {
-                name: path_target
-                for name, is_edl in types.items()
-                if not is_edl
-                and circuit.engine.endpoint_arrival(name) > path_target + EPS
-            }
-            if mandatory:
-                speed_paths(circuit, mandatory)
-        retiming = vl_retime(
-            circuit,
-            overhead,
-            variant=variant,
-            post_swap=(method != "rvl-noswap"),
-            solver=solver,
-            types=types,
-        )
-    else:  # pragma: no cover - guarded above
-        raise AssertionError(method)
+                if rescue_report.resized:
+                    retiming = grar_retime(
+                        circuit, overhead,
+                        solver=grar_solver, conflict_policy=conflict_policy,
+                        solver_policy=solver_policy,
+                    )
+        elif method in ("evl", "nvl", "rvl", "rvl-noswap", "rvl-movable"):
+            variant = VlVariant(method.split("-")[0])
+            types = initial_types(circuit, variant)
+            # The typing instantiates the virtual-library cells up
+            # front; error-detecting masters load their drivers harder
+            # (Fig. 2).
+            _apply_master_cells(
+                circuit, {name for name, is_edl in types.items() if is_edl}
+            )
+            if sizing:
+                # The virtual library's extended-setup non-EDL latches
+                # force the tool to keep their arrivals out of the
+                # window; paths that cannot are sped up unconditionally
+                # (the typing is committed).  EDL-typed masters exert
+                # no setup pressure — the decoupling the paper
+                # measures.
+                mandatory = {
+                    name: path_target
+                    for name, is_edl in types.items()
+                    if not is_edl
+                    and circuit.engine.endpoint_arrival(name)
+                    > path_target + EPS
+                }
+                if mandatory:
+                    speed_paths(circuit, mandatory)
+            retiming = vl_retime(
+                circuit,
+                overhead,
+                variant=variant,
+                post_swap=(method != "rvl-noswap"),
+                solver=solver,
+                types=types,
+                solver_policy=solver_policy,
+            )
+        else:  # pragma: no cover - guarded above
+            raise FlowStageError(
+                f"method {method!r} passed validation but has no "
+                f"retimer dispatch",
+                stage="retime",
+            )
+        sentinel.retiming_sane(circuit, retiming, "retime")
+        sentinel.cut_legality(circuit, retiming.placement, "retime")
 
     # Retiming decisions may use a conservative model (grar-gate), but
     # the final evaluation always uses the accurate path-based timing —
@@ -259,21 +299,36 @@ def run_flow(
     sizing_report: Optional[SizingReport] = None
     recovery_report: Optional[RecoveryReport] = None
     if sizing:
-        sizing_report = _incremental_compile(
-            circuit, retiming, overhead, method
-        )
-        # Commercial-style area recovery against the method's limits.
-        # For VL flows the limits come from the latch *types* — the
-        # relaxed EDL setups let recovery drift arrivals into the
-        # window, which is what defeats the swap step under EVL.
-        recovery_report = recover_area(
-            circuit,
-            placement,
-            _recovery_limits(circuit, retiming, method),
-        )
+        with stage_scope("sizing", circuit=netlist.name):
+            sizing_report = _incremental_compile(
+                circuit, retiming, overhead, method
+            )
+            # Commercial-style area recovery against the method's
+            # limits.  For VL flows the limits come from the latch
+            # *types* — the relaxed EDL setups let recovery drift
+            # arrivals into the window, which is what defeats the swap
+            # step under EVL.
+            recovery_report = recover_area(
+                circuit,
+                placement,
+                _recovery_limits(circuit, retiming, method),
+            )
+            sentinel.netlist_valid(circuit.netlist, library, "sizing")
+            sentinel.cut_legality(circuit, placement, "sizing")
 
-    edl, cost = _finalize(circuit, retiming, overhead)
-    comb_area = working.comb_area(library)
+    with stage_scope("finalize", circuit=netlist.name):
+        edl, cost = _finalize(circuit, retiming, overhead)
+        comb_area = working.comb_area(library)
+        sentinel.area_accounting(
+            cost,
+            comb_area,
+            "finalize",
+            recovery_delta=(
+                -recovery_report.area_saved
+                if recovery_report is not None
+                else None
+            ),
+        )
     return FlowOutcome(
         method=method,
         circuit_name=netlist.name,
@@ -287,6 +342,8 @@ def run_flow(
         cost=cost,
         comb_area=comb_area,
         runtime_s=time.perf_counter() - started,
+        guard_records=sentinel.records,
+        solver_backend=retiming.notes.get("solver_backend", solver),
     )
 
 

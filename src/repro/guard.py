@@ -1,0 +1,285 @@
+"""Inter-stage invariant checkpoints for the flow pipeline.
+
+The pipeline (prepare → retime → size-only compile → area recovery →
+finalize) trusts each stage's output.  A corrupted netlist, a NaN
+delay, or an illegal latch cut discovered three stages later is far
+harder to diagnose than at the stage boundary where it appeared, and
+in ``warn`` mode a silently wrong area is worse than a crash.  The
+:class:`Guard` runs cheap structural checks between stages:
+
+* **netlist validity** — connectivity, cell existence, pin arity;
+* **timing sanity** — no NaN / negative / infinite delays or arrivals;
+* **cut legality** — the slave placement against constraints (6)/(7);
+* **flow certificate** — handled inside the solver chain
+  (:func:`repro.retime.mincostflow.verify_solution`); the guard checks
+  the recovered labels' integrality and bounds;
+* **area accounting** — sequential/combinational areas finite,
+  non-negative, and monotone through area recovery.
+
+Behaviour per :class:`GuardPolicy`:
+
+* ``off`` — checkpoints are skipped entirely (zero overhead);
+* ``warn`` — violations are recorded on the outcome
+  (``FlowOutcome.guard_records``) but the flow continues;
+* ``strict`` — the first violation raises
+  :class:`~repro.errors.InvariantError`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import TYPE_CHECKING, Dict, List, Optional, Union
+
+from repro.errors import InvariantError, NetlistError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cells.library import Library
+    from repro.latches.placement import SlavePlacement
+    from repro.latches.resilient import SequentialCost, TwoPhaseCircuit
+    from repro.netlist.netlist import Netlist
+    from repro.retime.result import RetimingResult
+
+
+class GuardPolicy(Enum):
+    """How invariant checkpoints react to violations."""
+
+    OFF = "off"
+    WARN = "warn"
+    STRICT = "strict"
+
+    @classmethod
+    def coerce(cls, value: Union["GuardPolicy", str, None]) -> "GuardPolicy":
+        """Accept a policy, its string name, or ``None`` (= off)."""
+        if value is None:
+            return cls.OFF
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(str(value).lower())
+        except ValueError:
+            raise ValueError(
+                f"unknown guard policy {value!r}; choose from "
+                f"{[p.value for p in cls]}"
+            ) from None
+
+
+@dataclass
+class CheckpointRecord:
+    """One checkpoint evaluation (kept even when it passes)."""
+
+    checkpoint: str
+    stage: str
+    circuit: Optional[str]
+    ok: bool
+    problems: List[str] = field(default_factory=list)
+    notes: Dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-friendly form for failure reports."""
+        return {
+            "checkpoint": self.checkpoint,
+            "stage": self.stage,
+            "circuit": self.circuit,
+            "ok": self.ok,
+            "problems": list(self.problems),
+            "notes": {k: repr(v) for k, v in self.notes.items()},
+        }
+
+
+class Guard:
+    """Checkpoint runner bound to one flow invocation."""
+
+    def __init__(
+        self,
+        policy: Union[GuardPolicy, str, None] = GuardPolicy.OFF,
+        circuit_name: Optional[str] = None,
+    ) -> None:
+        self.policy = GuardPolicy.coerce(policy)
+        self.circuit_name = circuit_name
+        self.records: List[CheckpointRecord] = []
+
+    @property
+    def enabled(self) -> bool:
+        """False under ``off`` — checkpoints become no-ops."""
+        return self.policy is not GuardPolicy.OFF
+
+    @property
+    def violations(self) -> List[CheckpointRecord]:
+        """Records that found problems (non-empty only under warn)."""
+        return [r for r in self.records if not r.ok]
+
+    def _settle(
+        self,
+        checkpoint: str,
+        stage: str,
+        problems: List[str],
+        notes: Optional[Dict[str, object]] = None,
+    ) -> CheckpointRecord:
+        record = CheckpointRecord(
+            checkpoint=checkpoint,
+            stage=stage,
+            circuit=self.circuit_name,
+            ok=not problems,
+            problems=problems,
+            notes=notes or {},
+        )
+        self.records.append(record)
+        if problems and self.policy is GuardPolicy.STRICT:
+            raise InvariantError(
+                f"checkpoint {checkpoint!r} failed: " + "; ".join(
+                    problems[:5]
+                ),
+                stage=stage,
+                circuit=self.circuit_name,
+                payload={"checkpoint": checkpoint, "problems": problems},
+            )
+        return record
+
+    # -- checkpoints --------------------------------------------------
+
+    def netlist_valid(
+        self, netlist: "Netlist", library: "Library", stage: str
+    ) -> Optional[CheckpointRecord]:
+        """Structural validity of ``netlist`` against ``library``."""
+        if not self.enabled:
+            return None
+        from repro.netlist.validate import validate
+
+        problems: List[str] = []
+        try:
+            validate(netlist, library)
+        except NetlistError as exc:
+            problems = list(exc.payload.get("problems") or [str(exc)])
+        return self._settle("netlist_valid", stage, problems)
+
+    def timing_sane(
+        self, circuit: "TwoPhaseCircuit", stage: str
+    ) -> Optional[CheckpointRecord]:
+        """No NaN / negative / infinite forward arrivals anywhere."""
+        if not self.enabled:
+            return None
+        problems: List[str] = []
+        names = list(circuit.source_names) + [
+            g.name for g in circuit.netlist.comb_gates()
+        ]
+        for name in names:
+            value = circuit.df(name)
+            if math.isnan(value):
+                problems.append(f"D^f({name}) is NaN")
+            elif math.isinf(value):
+                problems.append(f"D^f({name}) is infinite")
+            elif value < 0:
+                problems.append(f"D^f({name}) = {value} is negative")
+            if len(problems) >= 10:
+                problems.append("... (truncated)")
+                break
+        return self._settle("timing_sane", stage, problems)
+
+    def cut_legality(
+        self,
+        circuit: "TwoPhaseCircuit",
+        placement: "SlavePlacement",
+        stage: str,
+    ) -> Optional[CheckpointRecord]:
+        """The slave cut against constraints (6)/(7).
+
+        Backward overshoots and window overflows are recorded as notes
+        only — they are the size-only compile's legitimate work queue
+        (Section VI-B), not invariant violations.
+        """
+        if not self.enabled:
+            return None
+        report = circuit.check_legality(placement)
+        problems: List[str] = []
+        if report.negative_edges:
+            problems.append(
+                f"{len(report.negative_edges)} edges with negative latch "
+                f"count; first: {report.negative_edges[0]}"
+            )
+        if report.forward_violations:
+            problems.append(
+                f"{len(report.forward_violations)} forward (6) violations; "
+                f"first: {report.forward_violations[0]!r}"
+            )
+        if report.retimed_endpoints:
+            problems.append(
+                f"{len(report.retimed_endpoints)} fixed masters were "
+                f"retimed; first: {report.retimed_endpoints[0]!r}"
+            )
+        notes: Dict[str, object] = {}
+        if report.backward_violations:
+            notes["backward_violations"] = len(report.backward_violations)
+        if report.window_overflows:
+            notes["window_overflows"] = len(report.window_overflows)
+        return self._settle("cut_legality", stage, problems, notes)
+
+    def retiming_sane(
+        self,
+        circuit: "TwoPhaseCircuit",
+        retiming: "RetimingResult",
+        stage: str,
+    ) -> Optional[CheckpointRecord]:
+        """Label integrality and bounds of the solver's answer."""
+        if not self.enabled:
+            return None
+        problems: List[str] = []
+        netlist = circuit.netlist
+        unknown = [
+            name
+            for name in retiming.placement.retimed
+            if name not in netlist
+        ]
+        if unknown:
+            problems.append(
+                f"{len(unknown)} retimed labels name gates that do not "
+                f"exist; first: {unknown[0]!r}"
+            )
+        if retiming.cost.n_slaves < 0:
+            problems.append(f"negative slave count {retiming.cost.n_slaves}")
+        if retiming.cost.n_edl > retiming.cost.n_masters:
+            problems.append(
+                f"{retiming.cost.n_edl} EDL masters exceed the "
+                f"{retiming.cost.n_masters} masters that exist"
+            )
+        return self._settle("retiming_sane", stage, problems)
+
+    def area_accounting(
+        self,
+        cost: "SequentialCost",
+        comb_area: float,
+        stage: str,
+        recovery_delta: Optional[float] = None,
+    ) -> Optional[CheckpointRecord]:
+        """Final areas finite, non-negative, and recovery monotone."""
+        if not self.enabled:
+            return None
+        problems: List[str] = []
+        for label, value in (
+            ("sequential area", cost.area),
+            ("combinational area", comb_area),
+        ):
+            if math.isnan(value):
+                problems.append(f"{label} is NaN")
+            elif math.isinf(value):
+                problems.append(f"{label} is infinite")
+            elif value < 0:
+                problems.append(f"{label} = {value} is negative")
+        if cost.n_slaves < 0:
+            problems.append(f"negative slave count {cost.n_slaves}")
+        if cost.n_edl > cost.n_masters:
+            problems.append(
+                f"{cost.n_edl} EDL masters exceed {cost.n_masters} masters"
+            )
+        # Area *recovery* must never grow the design it recovers.
+        if recovery_delta is not None and recovery_delta > 1e-9:
+            problems.append(
+                f"area recovery increased area by {recovery_delta}"
+            )
+        return self._settle(
+            "area_accounting",
+            stage,
+            problems,
+            {"recovery_delta": recovery_delta},
+        )

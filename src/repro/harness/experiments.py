@@ -7,14 +7,18 @@ runs), and renders each table in the paper's layout.
 
 from __future__ import annotations
 
+import json
+import os
 import time
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.analysis.compare import average, improvement
 from repro.cells import default_library
 from repro.cells.library import Library
 from repro.circuits import build_benchmark, suite_names
 from repro.clocks import ClockScheme
+from repro.errors import ReproError, stage_scope
 from repro.flows import FlowOutcome, prepare_circuit, run_flow
 from repro.harness.paper import OVERHEAD_LEVELS, PAPER_TABLE1
 from repro.harness.tables import TableResult
@@ -23,6 +27,106 @@ from repro.netlist.netlist import Netlist
 from repro.sim import estimate_error_rate
 
 LEVELS: Sequence[Tuple[str, float]] = tuple(OVERHEAD_LEVELS.items())
+
+_NAN = float("nan")
+
+
+@dataclass
+class FailedOutcome:
+    """Placeholder for a (circuit, method, c) run that raised.
+
+    Exposes the same table-facing metrics as :class:`FlowOutcome`, all
+    NaN, so every table renders a ``FAILED`` cell instead of crashing
+    or reporting a silently wrong number.
+    """
+
+    method: str
+    circuit_name: str
+    overhead: float
+    stage: Optional[str]
+    error: Dict[str, object]
+
+    failed = True
+
+    @property
+    def n_slaves(self) -> float:
+        return _NAN
+
+    @property
+    def n_edl(self) -> float:
+        return _NAN
+
+    @property
+    def sequential_area(self) -> float:
+        return _NAN
+
+    @property
+    def total_area(self) -> float:
+        return _NAN
+
+    @property
+    def runtime_s(self) -> float:
+        return _NAN
+
+    def summary(self) -> str:
+        """One-line failure summary."""
+        return (
+            f"{self.method}[{self.circuit_name}, c={self.overhead}]: "
+            f"FAILED in {self.stage or '?'}: {self.error.get('message')}"
+        )
+
+
+@dataclass
+class FlowRecord:
+    """Numbers a completed run contributes to the tables.
+
+    This is what the resumable memo persists — enough to re-render
+    every table (including re-costing under a different overhead)
+    without re-running the flow.
+    """
+
+    method: str
+    circuit_name: str
+    overhead: float
+    n_slaves: int
+    n_masters: int
+    n_edl: int
+    latch_area: float
+    comb_area: float
+    runtime_s: float
+    solver_backend: str = ""
+
+    failed = False
+
+    @property
+    def sequential_area(self) -> float:
+        """Same arithmetic as :class:`SequentialCost.area`."""
+        return (
+            self.n_slaves + self.n_masters + self.overhead * self.n_edl
+        ) * self.latch_area
+
+    @property
+    def total_area(self) -> float:
+        return self.comb_area + self.sequential_area
+
+    @staticmethod
+    def from_outcome(outcome: FlowOutcome) -> "FlowRecord":
+        return FlowRecord(
+            method=outcome.method,
+            circuit_name=outcome.circuit_name,
+            overhead=outcome.overhead,
+            n_slaves=outcome.cost.n_slaves,
+            n_masters=outcome.cost.n_masters,
+            n_edl=outcome.cost.n_edl,
+            latch_area=outcome.cost.latch_area,
+            comb_area=outcome.comb_area,
+            runtime_s=outcome.runtime_s,
+            solver_backend=outcome.solver_backend,
+        )
+
+
+#: Anything `outcome()` may hand to the tables.
+AnyOutcome = Union[FlowOutcome, FlowRecord, FailedOutcome]
 
 
 class ExperimentSuite:
@@ -34,15 +138,26 @@ class ExperimentSuite:
         library: Optional[Library] = None,
         error_rate_cycles: int = 192,
         sim_seed: int = 2017,
+        guard: Optional[str] = None,
+        isolate: bool = False,
+        memo_path: Optional[str] = None,
+        solver_policy=None,
     ) -> None:
         self.circuit_names = list(circuits or suite_names())
         self.library = library or default_library()
         self.error_rate_cycles = error_rate_cycles
         self.sim_seed = sim_seed
+        self.guard = guard
+        self.isolate = isolate
+        self.memo_path = memo_path
+        self.solver_policy = solver_policy
+        self.failures: List[FailedOutcome] = []
         self._netlists: Dict[str, Netlist] = {}
         self._schemes: Dict[str, ClockScheme] = {}
-        self._outcomes: Dict[Tuple[str, str, float], FlowOutcome] = {}
+        self._outcomes: Dict[Tuple[str, str, float], AnyOutcome] = {}
         self._error_rates: Dict[Tuple[str, str, float], float] = {}
+        if memo_path:
+            self._load_memo(memo_path)
 
     # -- shared state ------------------------------------------------------
 
@@ -67,12 +182,18 @@ class ExperimentSuite:
         {"base", "evl", "nvl", "rvl", "rvl-noswap", "rvl-movable"}
     )
 
-    def outcome(self, name: str, method: str, overhead: float) -> FlowOutcome:
+    def outcome(self, name: str, method: str, overhead: float) -> AnyOutcome:
         """The (memoized) flow outcome for (circuit, method, c).
 
         For c-independent methods the flow runs once and other
         overheads are derived by re-costing (same placement, same EDL
         set) — a 3x saving on the full-suite tables.
+
+        With ``isolate=True`` a run that raises a
+        :class:`~repro.errors.ReproError` yields a
+        :class:`FailedOutcome` (NaN metrics, rendered ``FAILED``)
+        instead of killing the whole suite; with a ``memo_path``,
+        completed runs resume from disk.
         """
         key = (name, method, overhead)
         if key in self._outcomes:
@@ -80,32 +201,57 @@ class ExperimentSuite:
         if method in self.C_INDEPENDENT:
             canonical = (name, method, 1.0)
             if canonical not in self._outcomes:
-                self._outcomes[canonical] = run_flow(
-                    method,
-                    self.netlist(name),
-                    self.library,
-                    1.0,
-                    scheme=self.scheme(name),
-                )
+                self._outcomes[canonical] = self._run(name, method, 1.0)
+                if self.memo_path:
+                    self.checkpoint()
             base = self._outcomes[canonical]
             if overhead == 1.0:
                 return base
             self._outcomes[key] = self._recost(base, overhead)
             return self._outcomes[key]
-        self._outcomes[key] = run_flow(
-            method,
-            self.netlist(name),
-            self.library,
-            overhead,
-            scheme=self.scheme(name),
-        )
+        self._outcomes[key] = self._run(name, method, overhead)
+        if self.memo_path:
+            self.checkpoint()
         return self._outcomes[key]
 
-    @staticmethod
-    def _recost(outcome: FlowOutcome, overhead: float) -> FlowOutcome:
-        """Clone an outcome under a different EDL overhead."""
-        from dataclasses import replace
+    def _run(self, name: str, method: str, overhead: float) -> AnyOutcome:
+        """One isolated flow invocation (plus memo bookkeeping)."""
+        try:
+            with stage_scope("prepare", circuit=name):
+                netlist = self.netlist(name)
+                scheme = self.scheme(name)
+            outcome = run_flow(
+                method,
+                netlist,
+                self.library,
+                overhead,
+                scheme=scheme,
+                guard=self.guard,
+                solver_policy=self.solver_policy,
+            )
+        except ReproError as exc:
+            if not self.isolate:
+                raise
+            exc.annotate(circuit=name)
+            failed = FailedOutcome(
+                method=method,
+                circuit_name=name,
+                overhead=overhead,
+                stage=exc.stage,
+                error=exc.to_dict(),
+            )
+            self.failures.append(failed)
+            self.checkpoint()
+            return failed
+        return outcome
 
+    @staticmethod
+    def _recost(outcome: AnyOutcome, overhead: float) -> AnyOutcome:
+        """Clone an outcome under a different EDL overhead."""
+        if isinstance(outcome, FailedOutcome):
+            return replace(outcome, overhead=overhead)
+        if isinstance(outcome, FlowRecord):
+            return replace(outcome, overhead=overhead)
         return replace(
             outcome,
             overhead=overhead,
@@ -116,22 +262,114 @@ class ExperimentSuite:
         """The (memoized) simulated error rate in percent.
 
         c-independent methods share one simulation (identical
-        placements and EDL sets across overheads).
+        placements and EDL sets across overheads).  Failed circuits
+        report NaN (rendered ``FAILED``).
         """
         if method in self.C_INDEPENDENT and overhead != 1.0:
             return self.error_rate(name, method, 1.0)
         key = (name, method, overhead)
         if key not in self._error_rates:
             out = self.outcome(name, method, overhead)
-            report = estimate_error_rate(
-                out.circuit,
-                out.retiming.placement,
-                out.edl_endpoints,
-                cycles=self.error_rate_cycles,
-                seed=self.sim_seed,
-            )
+            if isinstance(out, FailedOutcome):
+                return _NAN
+            if isinstance(out, FlowRecord):
+                # The memo resumed this run without the live circuit;
+                # re-run the flow once to simulate on it.
+                out = self._run(name, method, overhead)
+                if not isinstance(out, FlowOutcome):
+                    return _NAN
+                self._outcomes[(name, method, overhead)] = out
+            try:
+                with stage_scope("simulate", circuit=name):
+                    report = estimate_error_rate(
+                        out.circuit,
+                        out.retiming.placement,
+                        out.edl_endpoints,
+                        cycles=self.error_rate_cycles,
+                        seed=self.sim_seed,
+                    )
+            except ReproError as exc:
+                if not self.isolate:
+                    raise
+                self.failures.append(
+                    FailedOutcome(
+                        method=method,
+                        circuit_name=name,
+                        overhead=overhead,
+                        stage=exc.stage,
+                        error=exc.to_dict(),
+                    )
+                )
+                self._error_rates[key] = _NAN
+                return _NAN
             self._error_rates[key] = report.error_rate
+            if self.memo_path:
+                self.checkpoint()
         return self._error_rates[key]
+
+    # -- failure reporting and resumability --------------------------------
+
+    def failure_report(self) -> Dict[str, object]:
+        """Machine-readable account of every isolated failure."""
+        return {
+            "n_failures": len(self.failures),
+            "failures": [
+                {
+                    "circuit": f.circuit_name,
+                    "method": f.method,
+                    "overhead": f.overhead,
+                    "stage": f.stage,
+                    "error": f.error,
+                }
+                for f in self.failures
+            ],
+        }
+
+    @staticmethod
+    def _memo_key(key: Tuple[str, str, float]) -> str:
+        name, method, overhead = key
+        return f"{name}|{method}|{overhead}"
+
+    def checkpoint(self) -> None:
+        """Persist completed runs so a crashed suite can resume."""
+        if not self.memo_path:
+            return
+        runs = {}
+        for key, out in self._outcomes.items():
+            if isinstance(out, FailedOutcome):
+                continue
+            record = (
+                out
+                if isinstance(out, FlowRecord)
+                else FlowRecord.from_outcome(out)
+            )
+            runs[self._memo_key(key)] = record.__dict__
+        payload = {
+            "runs": runs,
+            "error_rates": {
+                self._memo_key(k): v
+                for k, v in self._error_rates.items()
+                if v == v
+            },
+            "failures": self.failure_report()["failures"],
+        }
+        tmp = f"{self.memo_path}.tmp"
+        with open(tmp, "w", encoding="utf-8") as stream:
+            json.dump(payload, stream, indent=1)
+        os.replace(tmp, self.memo_path)
+
+    def _load_memo(self, path: str) -> None:
+        if not os.path.exists(path):
+            return
+        with open(path, encoding="utf-8") as stream:
+            payload = json.load(stream)
+        for memo_key, fields_ in payload.get("runs", {}).items():
+            name, method, overhead = memo_key.rsplit("|", 2)
+            key = (name, method, float(overhead))
+            self._outcomes[key] = FlowRecord(**fields_)
+        for memo_key, rate in payload.get("error_rates", {}).items():
+            name, method, overhead = memo_key.rsplit("|", 2)
+            self._error_rates[(name, method, float(overhead))] = rate
 
     # -- Table I ----------------------------------------------------------
 
@@ -144,10 +382,31 @@ class ExperimentSuite:
              "paper_P", "paper_flop#", "paper_NCE#"],
         )
         for name in self.circuit_names:
-            netlist = self.netlist(name)
-            scheme = self.scheme(name)
-            report = original_flop_report(netlist, scheme, self.library)
             paper = PAPER_TABLE1.get(name, (0, 0, 0, 0))
+            try:
+                with stage_scope("prepare", circuit=name):
+                    netlist = self.netlist(name)
+                    scheme = self.scheme(name)
+                    report = original_flop_report(
+                        netlist, scheme, self.library
+                    )
+            except ReproError as exc:
+                if not self.isolate:
+                    raise
+                self.failures.append(
+                    FailedOutcome(
+                        method="table1",
+                        circuit_name=name,
+                        overhead=0.0,
+                        stage=exc.stage,
+                        error=exc.to_dict(),
+                    )
+                )
+                table.add_row(
+                    name, _NAN, _NAN, _NAN, _NAN, _NAN,
+                    paper[0], paper[1], paper[2],
+                )
+                continue
             table.add_row(
                 name,
                 round(scheme.max_path_delay, 3),
@@ -385,9 +644,20 @@ class ExperimentSuite:
                for col in ("flop_res", "latch_res", "saving%")],
         )
         for name in self.circuit_names:
-            netlist = self.netlist(name)
-            scheme = self.scheme(name)
-            report = original_flop_report(netlist, scheme, self.library)
+            try:
+                with stage_scope("prepare", circuit=name):
+                    netlist = self.netlist(name)
+                    scheme = self.scheme(name)
+                    report = original_flop_report(
+                        netlist, scheme, self.library
+                    )
+            except ReproError:
+                if not self.isolate:
+                    raise
+                table.add_row(
+                    name, _NAN, *([_NAN] * (3 * len(LEVELS)))
+                )
+                continue
             row: List = [name, round(report.total_area, 1)]
             for _, c in LEVELS:
                 flop_res = flop_resilient_area(report, self.library, c)

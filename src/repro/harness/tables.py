@@ -58,6 +58,10 @@ class TableResult:
 
 def _format(value: Any) -> str:
     if isinstance(value, float):
+        # NaN marks a circuit whose flow failed; the harness records
+        # the failure and renders a partial table (never a bogus 0.0).
+        if value != value:
+            return "FAILED"
         return f"{value:.2f}"
     return str(value)
 

@@ -20,6 +20,7 @@ import re
 from typing import List, TextIO, Tuple, Union
 
 from repro.cells.library import Library
+from repro.errors import NetlistError
 from repro.netlist.builder import NetlistBuilder
 from repro.netlist.netlist import Netlist
 
@@ -45,7 +46,7 @@ _FUNC_MAP = {
 }
 
 
-class BenchParseError(ValueError):
+class BenchParseError(NetlistError):
     """Raised on malformed ``.bench`` input."""
 
 

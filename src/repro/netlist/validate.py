@@ -6,15 +6,10 @@ from typing import List
 
 from repro.cells.cell import CombCell
 from repro.cells.library import Library
+from repro.errors import NetlistError
 from repro.netlist.netlist import GateType, Netlist
 
-
-class NetlistError(ValueError):
-    """Raised when a netlist fails structural validation."""
-
-    def __init__(self, problems: List[str]) -> None:
-        self.problems = problems
-        super().__init__("; ".join(problems))
+__all__ = ["NetlistError", "validate", "dangling_gates"]
 
 
 def validate(netlist: Netlist, library: Library) -> None:
@@ -60,12 +55,14 @@ def validate(netlist: Netlist, library: Library) -> None:
                 )
 
     if problems:
-        raise NetlistError(problems)
+        raise NetlistError(problems, circuit=netlist.name)
 
     try:
         netlist.topo_order()
+    except NetlistError:
+        raise
     except (ValueError, KeyError) as exc:
-        raise NetlistError([str(exc)]) from exc
+        raise NetlistError([str(exc)], circuit=netlist.name) from exc
 
 
 def dangling_gates(netlist: Netlist) -> List[str]:

@@ -25,10 +25,11 @@ from typing import Dict, List, TextIO, Union
 
 from repro.cells.cell import CombCell, SequentialCell
 from repro.cells.library import Library
+from repro.errors import NetlistError
 from repro.netlist.netlist import Gate, GateType, Netlist
 
 
-class VerilogError(ValueError):
+class VerilogError(NetlistError):
     """Raised on malformed structural Verilog."""
 
 
@@ -58,7 +59,11 @@ def write_verilog(
     for gate in netlist:
         if gate.gtype is GateType.COMB:
             cell = library[gate.cell]
-            assert isinstance(cell, CombCell)
+            if not isinstance(cell, CombCell):
+                raise VerilogError(
+                    f"gate {gate.name!r}: cell {gate.cell!r} is not "
+                    f"combinational"
+                )
             pins = ", ".join(
                 f".{pin}({driver})"
                 for pin, driver in zip(cell.inputs, gate.fanins)
@@ -70,7 +75,11 @@ def write_verilog(
         elif gate.gtype is GateType.DFF:
             cell_name = gate.cell or library.default_flip_flop().name
             cell = library[cell_name]
-            assert isinstance(cell, SequentialCell)
+            if not isinstance(cell, SequentialCell):
+                raise VerilogError(
+                    f"flop {gate.name!r}: cell {cell_name!r} is not "
+                    f"sequential"
+                )
             stream.write(
                 f"  {cell.name} u_{gate.name} "
                 f"(.{cell.data_pin}({gate.fanins[0]}), "

@@ -41,6 +41,7 @@ def base_retime(
     overhead: float,
     solver: str = "flow",
     conflict_policy: str = "error",
+    solver_policy=None,
 ) -> RetimingResult:
     """Timing-driven min-latch retiming, EDL assigned post hoc."""
     if overhead < 0:
@@ -86,15 +87,17 @@ def base_retime(
 
     tick = time.perf_counter()
     if solver == "flow":
-        solution = solve_retiming_flow(graph)
+        solution = solve_retiming_flow(graph, policy=solver_policy)
         r_values = solution.r_values
         objective = solution.objective
         iterations = solution.iterations
+        backend = solution.backend
     elif solver == "lp":
         lp = solve_retiming_lp(graph)
         r_values = lp.r_values
         objective = lp.objective
         iterations = 0
+        backend = "lp"
     else:
         raise ValueError(f"unknown solver {solver!r}")
     phases["solve"] = time.perf_counter() - tick
@@ -122,5 +125,9 @@ def base_retime(
         runtime_s=time.perf_counter() - started,
         phase_runtimes=phases,
         solver_iterations=iterations,
-        notes={"unmet_endpoints": str(unmet), "forced_gates": str(len(forced))},
+        notes={
+            "unmet_endpoints": str(unmet),
+            "forced_gates": str(len(forced)),
+            "solver_backend": backend,
+        },
     )

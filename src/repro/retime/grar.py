@@ -36,6 +36,7 @@ def grar_retime(
     overhead: float,
     solver: str = "flow",
     conflict_policy: str = "error",
+    solver_policy=None,
 ) -> RetimingResult:
     """Run the full G-RAR pipeline on one circuit.
 
@@ -63,15 +64,17 @@ def grar_retime(
 
     tick = time.perf_counter()
     if solver == "flow":
-        solution = solve_retiming_flow(graph)
+        solution = solve_retiming_flow(graph, policy=solver_policy)
         r_values = solution.r_values
         objective = solution.objective
         iterations = solution.iterations
+        backend = solution.backend
     elif solver == "lp":
         lp = solve_retiming_lp(graph)
         r_values = lp.r_values
         objective = lp.objective
         iterations = 0
+        backend = "lp"
     else:
         raise ValueError(f"unknown solver {solver!r}")
     phases["solve"] = time.perf_counter() - tick
@@ -105,4 +108,5 @@ def grar_retime(
         phase_runtimes=phases,
         solver_iterations=iterations,
         credited_endpoints=credited,
+        notes={"solver_backend": backend},
     )

@@ -19,6 +19,7 @@ import numpy as np
 from scipy.optimize import linprog
 from scipy.sparse import csr_matrix
 
+from repro.errors import SolverError
 from repro.retime.graph import EdgeKind, RetimingGraph
 
 
@@ -71,14 +72,14 @@ def solve_retiming_lp(graph: RetimingGraph) -> LpSolution:
         method="highs",
     )
     if not result.success:
-        raise RuntimeError(f"LP solve failed: {result.message}")
+        raise SolverError(f"LP solve failed: {result.message}")
 
     r_values: Dict[str, int] = {}
     for name in names:
         value = result.x[index[name]]
         rounded = round(value)
         if abs(value - rounded) > 1e-6:
-            raise RuntimeError(
+            raise SolverError(
                 f"LP relaxation returned fractional r({name}) = {value}; "
                 f"total unimodularity violated — malformed graph?"
             )
@@ -86,7 +87,7 @@ def solve_retiming_lp(graph: RetimingGraph) -> LpSolution:
 
     violated = graph.check_feasible(r_values)
     if violated:
-        raise RuntimeError(
+        raise SolverError(
             f"LP solution violates {len(violated)} constraints after "
             f"rounding"
         )

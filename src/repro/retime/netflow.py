@@ -4,20 +4,29 @@ Node demands come from the breadths (eq. 11/13): ``X(v) = -B(v)`` with
 ``B(v) = sum_out beta - sum_in beta`` over *all* edges (the pseudo-node
 identities ``X(P(t)) = c`` and ``X(h) = -B(h) - c|V2|`` of the paper
 fall out of this generic form).  Arc costs are the edge weights; the
-[24] bound edges carry their ``U`` / ``-L`` costs.  Solving with the
-network simplex yields integral node potentials; the retiming labels
-are recovered as ``r(v) = pot(v) - pot(host)``.
+[24] bound edges carry their ``U`` / ``-L`` costs.  The flow is solved
+through :mod:`repro.retime.mincostflow`'s fallback chain (network
+simplex → scipy → networkx); whichever backend answers, its integral
+node potentials yield the retiming labels as
+``r(v) = pot(v) - pot(host)``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from fractions import Fraction
 from typing import Dict, List, Optional, Tuple
 
+from repro.errors import SolverError
 from repro.latches.placement import HOST
 from repro.retime.graph import RetimingGraph
-from repro.retime.simplex import NetworkSimplex, SimplexResult
+from repro.retime.mincostflow import (
+    DEFAULT_POLICY,
+    BackendAttempt,
+    SolverPolicy,
+    solve_min_cost_flow,
+)
+from repro.retime.simplex import SimplexResult
 
 
 @dataclass
@@ -28,7 +37,9 @@ class FlowSolution:
     objective: Fraction
     flow_objective: Fraction
     iterations: int
-    simplex: SimplexResult
+    simplex: Optional[SimplexResult] = None
+    backend: str = "simplex"
+    attempts: List[BackendAttempt] = field(default_factory=list)
 
     def r(self, name: str) -> int:
         """The retiming label of ``name`` (0 for unknown nodes)."""
@@ -74,17 +85,22 @@ def build_demands_paper_form(graph: RetimingGraph) -> Dict[str, Fraction]:
 
 
 def solve_retiming_flow(
-    graph: RetimingGraph, max_iterations: Optional[int] = None
+    graph: RetimingGraph,
+    max_iterations: Optional[int] = None,
+    policy: Optional[SolverPolicy] = None,
 ) -> FlowSolution:
-    """Solve the retiming graph via the min-cost-flow dual."""
+    """Solve the retiming graph via the min-cost-flow dual.
+
+    ``policy`` configures the solver-fallback chain; by default the
+    in-house network simplex answers, with scipy and networkx standing
+    by should it break down.
+    """
     demands = build_demands(graph)
     arcs: List[Tuple[str, str, int]] = [
         (edge.tail, edge.head, edge.weight) for edge in graph.edges
     ]
-    simplex = NetworkSimplex(
-        graph.nodes, arcs, demands, max_iterations=max_iterations
-    )
-    result = simplex.solve()
+    effective = (policy or DEFAULT_POLICY).with_defaults(max_iterations)
+    result = solve_min_cost_flow(graph.nodes, arcs, demands, effective)
 
     host_pot = result.potentials[HOST]
     r_values = {
@@ -93,9 +109,10 @@ def solve_retiming_flow(
 
     violated = graph.check_feasible(r_values)
     if violated:
-        raise RuntimeError(
+        raise SolverError(
             f"flow solution violates {len(violated)} retiming constraints; "
-            f"first: {violated[0]}"
+            f"first: {violated[0]}",
+            payload={"backend": result.backend},
         )
     out_of_bounds = {
         name: r_values[name]
@@ -103,9 +120,10 @@ def solve_retiming_flow(
         if not lo <= r_values[name] <= hi
     }
     if out_of_bounds:
-        raise RuntimeError(
+        raise SolverError(
             f"flow potentials escape their bounds: "
-            f"{dict(list(out_of_bounds.items())[:5])}"
+            f"{dict(list(out_of_bounds.items())[:5])}",
+            payload={"backend": result.backend},
         )
     objective = graph.objective_value(r_values)
     return FlowSolution(
@@ -113,5 +131,6 @@ def solve_retiming_flow(
         objective=objective,
         flow_objective=result.objective,
         iterations=result.iterations,
-        simplex=result,
+        backend=result.backend,
+        attempts=result.attempts,
     )

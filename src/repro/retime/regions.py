@@ -15,10 +15,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import FrozenSet, Tuple
 
+from repro.errors import TimingError
 from repro.latches.resilient import TwoPhaseCircuit
 
 
-class InfeasibleRetimingError(ValueError):
+class InfeasibleRetimingError(TimingError):
     """Raised when constraints (6) and (7) cannot both be satisfied."""
 
 

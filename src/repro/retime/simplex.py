@@ -20,27 +20,36 @@ first-eligible entering rule with a Bland fallback for anti-cycling.
 
 from __future__ import annotations
 
+import random
+import time
 from dataclasses import dataclass
 from fractions import Fraction
 from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
+from repro.errors import (
+    InfeasibleFlowError,
+    SolverError,
+    SolverTimeoutError,
+    UnboundedFlowError,
+)
+
 Node = Hashable
 Arc = Tuple[Node, Node, int]
+
+__all__ = [
+    "Arc",
+    "InfeasibleFlowError",
+    "NetworkSimplex",
+    "Node",
+    "SimplexResult",
+    "UnboundedFlowError",
+]
 
 
 def _gcd(a: int, b: int) -> int:
     while b:
         a, b = b, a % b
     return a
-
-
-class UnboundedFlowError(RuntimeError):
-    """The flow problem is unbounded (a negative-cost cycle with no
-    reverse-arc limit) — indicates a malformed retiming graph."""
-
-
-class InfeasibleFlowError(RuntimeError):
-    """No flow satisfies the node demands."""
 
 
 @dataclass
@@ -51,6 +60,8 @@ class SimplexResult:
     potentials: Dict[Node, int]
     objective: Fraction
     iterations: int
+    degenerate_pivots: int = 0
+    bland_used: bool = False
 
     def potential(self, node: Node) -> int:
         """The node potential (dual value) of ``node``."""
@@ -66,6 +77,8 @@ class NetworkSimplex:
         arcs: Sequence[Arc],
         demands: Dict[Node, Fraction],
         max_iterations: Optional[int] = None,
+        deadline_s: Optional[float] = None,
+        pivot_chaos: Optional[random.Random] = None,
     ) -> None:
         self.node_names = list(nodes)
         self.n = len(self.node_names)
@@ -110,31 +123,77 @@ class NetworkSimplex:
         self.max_iterations = max_iterations or max(
             200000, 50 * (self.m + self.n)
         )
+        #: Optional wall-clock budget for :meth:`solve` in seconds.
+        self.deadline_s = deadline_s
+        #: Fault-injection hook: an RNG that randomizes entering-arc
+        #: selection (see :mod:`repro.faults`), stressing the
+        #: anti-cycling safeguards.  Never set in production flows.
+        self.pivot_chaos = pivot_chaos
+        self.degenerate_pivots = 0
+        self.bland_used = False
 
     # -- public API -------------------------------------------------------
 
     def solve(self) -> SimplexResult:
-        """Run pivots to optimality; returns flows and potentials."""
+        """Run pivots to optimality; returns flows and potentials.
+
+        Anti-cycling is layered: a long streak of consecutive
+        degenerate pivots (the signature of cycling) switches to
+        Bland's rule immediately, well before the coarse halfway-budget
+        fallback; Bland's rule then guarantees termination.  A
+        ``deadline_s`` wall-clock budget turns pathological instances
+        into a typed :class:`SolverTimeoutError` instead of a hang.
+        """
         self._build_initial_tree()
         iterations = 0
         cursor = 0
         bland = False
         bland_switch = self.max_iterations // 2
+        degenerate_streak = 0
+        cycling_threshold = max(64, 4 * (self.n + 1))
+        started = time.perf_counter()
         while True:
             entering = self._find_entering(cursor, bland)
             if entering is None:
                 break
             if not bland:
                 cursor = (entering + 1) % self.m
-            self._pivot(entering)
+            if self._pivot(entering):
+                self.degenerate_pivots += 1
+                degenerate_streak += 1
+                if degenerate_streak > cycling_threshold and not bland:
+                    bland = True  # suspected cycling: Bland terminates
+            else:
+                degenerate_streak = 0
             iterations += 1
-            if iterations == bland_switch:
+            if iterations >= bland_switch:
                 bland = True  # anti-cycling fallback
+            if bland:
+                self.bland_used = True
             if iterations > self.max_iterations:
-                raise RuntimeError(
+                raise SolverTimeoutError(
                     "network simplex exceeded iteration budget "
-                    f"({self.max_iterations})"
+                    f"({self.max_iterations})",
+                    payload={
+                        "iterations": iterations,
+                        "degenerate_pivots": self.degenerate_pivots,
+                    },
                 )
+            if self.deadline_s is not None:
+                # perf_counter is cheap next to an O(n) pivot; checking
+                # every iteration keeps even sub-millisecond deadlines
+                # honest.
+                elapsed = time.perf_counter() - started
+                if elapsed > self.deadline_s:
+                    raise SolverTimeoutError(
+                        "network simplex exceeded wall-clock deadline "
+                        f"({self.deadline_s:.3f}s) after "
+                        f"{iterations} pivots",
+                        payload={
+                            "iterations": iterations,
+                            "elapsed_s": elapsed,
+                        },
+                    )
         return self._extract(iterations)
 
     # -- initial basis ------------------------------------------------------
@@ -222,6 +281,18 @@ class NetworkSimplex:
                 if arc not in self.in_tree and self._reduced_cost(arc) < 0:
                     return arc
             return None
+        if self.pivot_chaos is not None:
+            # Fault injection: pick a random eligible arc instead of
+            # the best one — maximizes degenerate pivots and exercises
+            # the cycling detection.
+            eligible = [
+                arc
+                for arc in range(m)
+                if arc not in self.in_tree and self._reduced_cost(arc) < 0
+            ]
+            if not eligible:
+                return None
+            return self.pivot_chaos.choice(eligible)
         block = max(64, m // 40)
         scanned = 0
         position = cursor
@@ -276,7 +347,8 @@ class NetworkSimplex:
                 b = self.parent[b]
         return forward, backward
 
-    def _pivot(self, entering: int) -> None:
+    def _pivot(self, entering: int) -> bool:
+        """One pivot on ``entering``; True when degenerate (theta 0)."""
         forward, backward = self._cycle(entering)
         if not backward:
             raise UnboundedFlowError(
@@ -291,7 +363,11 @@ class NetworkSimplex:
             ):
                 theta = value
                 leaving = arc
-        assert theta is not None and leaving is not None
+        if theta is None or leaving is None:
+            raise SolverError(
+                "pivot found no leaving arc on a non-empty cycle — "
+                "basis bookkeeping corrupted"
+            )
 
         if theta != 0:
             for arc in forward:
@@ -302,6 +378,7 @@ class NetworkSimplex:
             self.flow.setdefault(entering, 0)
 
         self._replace(leaving, entering)
+        return theta == 0
 
     def _replace(self, leaving: int, entering: int) -> None:
         """Swap the leaving tree arc for the entering arc."""
@@ -309,7 +386,11 @@ class NetworkSimplex:
         lt, lh = self._arc_tail(leaving), self._arc_head(leaving)
         child = lt if self.depth[lt] > self.depth[lh] else lh
         parent = self.parent[child]
-        assert self.parent_arc[child] == leaving
+        if self.parent_arc[child] != leaving:
+            raise SolverError(
+                "leaving arc is not the tree arc of its deeper endpoint "
+                "— spanning-tree invariants corrupted"
+            )
 
         # Detach the T2 subtree rooted at `child`.
         self.children[parent].discard(child)
@@ -399,6 +480,8 @@ class NetworkSimplex:
             potentials=potentials,
             objective=objective,
             iterations=iterations,
+            degenerate_pivots=self.degenerate_pivots,
+            bland_used=self.bland_used,
         )
 
     # -- verification (used by tests) -----------------------------------------

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Sequence, Tuple
 
 from repro.cells.cell import CombCell
+from repro.errors import NetlistError
 from repro.latches.placement import HOST, SlavePlacement
 from repro.latches.resilient import TwoPhaseCircuit
 from repro.netlist.netlist import Gate, GateType
@@ -123,7 +124,11 @@ class TimedSimulator:
         self, gate: Gate, inputs: Sequence[Waveform]
     ) -> Waveform:
         cell = self.library[gate.cell]
-        assert isinstance(cell, CombCell)
+        if not isinstance(cell, CombCell):
+            raise NetlistError(
+                [f"gate {gate.name!r}: cell {gate.cell!r} is not "
+                 f"combinational"]
+            )
         calc = self.circuit.engine.calculator
         load = calc.load(gate.name)
 

@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Dict, Optional, Tuple
 
 from repro.cells.cell import CombCell
+from repro.errors import NetlistError
 from repro.cells.library import Library
 from repro.netlist.netlist import GateType, Netlist
 from repro.sta.loads import LoadModel
@@ -70,7 +71,11 @@ class DelayCalculator:
             if gate.gtype is GateType.OUTPUT:
                 continue
             cell = self.library[gate.cell]
-            assert isinstance(cell, CombCell)
+            if not isinstance(cell, CombCell):
+                raise NetlistError(
+                    [f"gate {gate.name!r}: cell {gate.cell!r} is not "
+                     f"combinational"]
+                )
             load = self._loads.get(name, 0.0)
             slews[name] = max(
                 cell.arc(pin).max_output_slew(load) for pin in cell.inputs
@@ -127,7 +132,11 @@ class GateBasedCalculator(DelayCalculator):
         if not gate.is_comb:
             return 0.0
         cell = self.library[gate.cell]
-        assert isinstance(cell, CombCell)
+        if not isinstance(cell, CombCell):
+            raise NetlistError(
+                [f"gate {gate.name!r}: cell {gate.cell!r} is not "
+                 f"combinational"]
+            )
         return max(
             cell.arc(pin).max_delay(
                 GATE_MODEL_REFERENCE_LOAD, GATE_MODEL_REFERENCE_SLEW
@@ -152,7 +161,11 @@ class PathBasedCalculator(DelayCalculator):
         if not gate.is_comb:
             return 0.0
         cell = self.library[gate.cell]
-        assert isinstance(cell, CombCell)
+        if not isinstance(cell, CombCell):
+            raise NetlistError(
+                [f"gate {gate.name!r}: cell {gate.cell!r} is not "
+                 f"combinational"]
+            )
         transitions = self.transition_edges(driver, sink)
         if not transitions:
             raise KeyError(f"{driver!r} does not drive {sink!r}")
@@ -170,7 +183,11 @@ class PathBasedCalculator(DelayCalculator):
         if not gate.is_comb:
             return [(True, True, 0.0), (False, False, 0.0)]
         cell = self.library[gate.cell]
-        assert isinstance(cell, CombCell)
+        if not isinstance(cell, CombCell):
+            raise NetlistError(
+                [f"gate {gate.name!r}: cell {gate.cell!r} is not "
+                 f"combinational"]
+            )
         load = self.load(sink)
         slew = self.slew(driver)
         triples = []

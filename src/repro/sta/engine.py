@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Dict, List, Mapping, Optional
 
 from repro.cells.library import Library
+from repro.errors import TimingError
 from repro.netlist.netlist import Gate, GateType, Netlist
 from repro.sta.delay_models import (
     DelayCalculator,
@@ -95,7 +96,11 @@ class TimingEngine:
     def _compute_forward_rf(self) -> Dict[str, float]:
         """Two-state (rise/fall) forward DP for the path-based model."""
         calc = self.calculator
-        assert isinstance(calc, PathBasedCalculator)
+        if not isinstance(calc, PathBasedCalculator):
+            raise TimingError(
+                f"rise/fall forward DP needs a path-based calculator, "
+                f"got {type(calc).__name__}"
+            )
         rise: Dict[str, float] = {}
         fall: Dict[str, float] = {}
         for name in self.netlist.topo_order():

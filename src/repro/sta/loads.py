@@ -6,6 +6,7 @@ from dataclasses import dataclass
 from typing import Dict
 
 from repro.cells.cell import CombCell, SequentialCell
+from repro.errors import NetlistError
 from repro.cells.library import Library
 from repro.netlist.netlist import GateType, Netlist
 
@@ -41,7 +42,11 @@ class LoadModel:
                 total += self.wire_cap_per_fanout + cell.input_cap
             else:
                 cell = library[user.cell]
-                assert isinstance(cell, CombCell)
+                if not isinstance(cell, CombCell):
+                    raise NetlistError(
+                        [f"gate {user.name!r}: cell {user.cell!r} is not "
+                         f"combinational"]
+                    )
                 # A driver can feed several pins of the same gate; each
                 # connection adds its pin and wire capacitance.
                 for pin, fanin in zip(cell.inputs, user.fanins):

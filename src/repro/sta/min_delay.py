@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from repro.cells.cell import CombCell
+from repro.errors import NetlistError
 from repro.cells.library import Library
 from repro.netlist.netlist import GateType, Netlist
 from repro.sta.loads import LoadModel
@@ -57,7 +58,11 @@ class MinDelayAnalysis:
         if not gate.is_comb:
             return 0.0
         cell = self.library[gate.cell]
-        assert isinstance(cell, CombCell)
+        if not isinstance(cell, CombCell):
+            raise NetlistError(
+                [f"gate {gate.name!r}: cell {gate.cell!r} is not "
+                 f"combinational"]
+            )
         load = self._load(sink)
         best = POS_INF
         for pin, fanin in zip(cell.inputs, gate.fanins):

@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
+from repro.errors import TimingError
 from repro.netlist.netlist import GateType
 from repro.sta.engine import TimingEngine
 
@@ -69,7 +70,11 @@ def worst_path(engine: TimingEngine, endpoint: str) -> TimingPath:
             if error < best_error:
                 best_error = error
                 best = driver
-        assert best is not None
+        if best is None:
+            raise TimingError(
+                f"path reconstruction stuck at {current!r}: no fanin "
+                f"reproduces its arrival (inconsistent timing cache?)"
+            )
         path.append(best)
         current = best
     path.reverse()

@@ -71,6 +71,7 @@ def vl_retime(
     solver: str = "flow",
     types: Optional[Dict[str, bool]] = None,
     forced_cuts: bool = True,
+    solver_policy=None,
 ) -> RetimingResult:
     """Run one VL-RAR variant; returns a :class:`RetimingResult`.
 
@@ -133,15 +134,17 @@ def vl_retime(
 
     tick = time.perf_counter()
     if solver == "flow":
-        solution = solve_retiming_flow(graph)
+        solution = solve_retiming_flow(graph, policy=solver_policy)
         r_values = solution.r_values
         objective = solution.objective
         iterations = solution.iterations
+        backend = solution.backend
     elif solver == "lp":
         lp = solve_retiming_lp(graph)
         r_values = lp.r_values
         objective = lp.objective
         iterations = 0
+        backend = "lp"
     else:
         raise ValueError(f"unknown solver {solver!r}")
     phases["solve"] = time.perf_counter() - tick
@@ -185,5 +188,6 @@ def vl_retime(
             "forced_gates": str(len(forced)),
             "upgraded": str(len(swap_report.upgraded)),
             "downgraded": str(len(swap_report.downgraded)),
+            "solver_backend": backend,
         },
     )

@@ -1,0 +1,134 @@
+"""The invariant-checkpoint layer (`repro.guard`)."""
+
+import math
+
+import pytest
+
+from repro.errors import InvariantError, NetlistError, ReproError
+from repro.flows import run_flow
+from repro.guard import Guard, GuardPolicy
+
+
+class TestGuardPolicy:
+    def test_coerce_accepts_strings_and_none(self):
+        assert GuardPolicy.coerce(None) is GuardPolicy.OFF
+        assert GuardPolicy.coerce("warn") is GuardPolicy.WARN
+        assert GuardPolicy.coerce("STRICT") is GuardPolicy.STRICT
+        assert GuardPolicy.coerce(GuardPolicy.WARN) is GuardPolicy.WARN
+
+    def test_coerce_rejects_unknown(self):
+        with pytest.raises(ValueError, match="guard policy"):
+            GuardPolicy.coerce("paranoid")
+
+
+class TestGuardCheckpoints:
+    def test_off_guard_is_a_noop(self, small_netlist, library):
+        guard = Guard("off")
+        assert guard.netlist_valid(small_netlist, library, "prepare") is None
+        assert guard.records == []
+
+    def test_valid_netlist_passes(self, small_netlist, library):
+        guard = Guard("strict")
+        record = guard.netlist_valid(small_netlist, library, "prepare")
+        assert record.ok and record.problems == []
+
+    def test_corrupt_netlist_fails_strict(self, small_netlist, library):
+        import random
+
+        from repro.faults import corrupt_net
+
+        broken = small_netlist.copy()
+        corrupt_net(broken, random.Random(1))
+        guard = Guard("strict", circuit_name=broken.name)
+        with pytest.raises(InvariantError) as info:
+            guard.netlist_valid(broken, library, "prepare")
+        assert info.value.stage == "prepare"
+        assert info.value.circuit == broken.name
+        assert "missing driver" in str(info.value)
+
+    def test_corrupt_netlist_recorded_warn(self, small_netlist, library):
+        import random
+
+        from repro.faults import corrupt_net
+
+        broken = small_netlist.copy()
+        corrupt_net(broken, random.Random(1))
+        guard = Guard("warn")
+        record = guard.netlist_valid(broken, library, "prepare")
+        assert not record.ok
+        assert guard.violations == [record]
+        assert record.to_dict()["problems"]
+
+    def test_timing_sane_flags_nan(self, small_netlist, library):
+        from repro.clocks import scheme_from_period
+        from repro.faults import sabotaged_circuit
+
+        circuit = sabotaged_circuit(
+            small_netlist.copy(), scheme_from_period(10.0), library,
+            mode="nan", rate=1.0,
+        )
+        guard = Guard("warn")
+        record = guard.timing_sane(circuit, "prepare")
+        # NaN candidates are swallowed by max() in the forward DP, so
+        # the symptom may surface as -inf rather than NaN — either way
+        # the checkpoint must flag it.
+        assert not record.ok
+        assert any("NaN" in p or "infinite" in p for p in record.problems)
+
+    def test_area_accounting_rejects_growth(self):
+        from repro.latches.resilient import SequentialCost
+
+        cost = SequentialCost(
+            n_slaves=4, n_masters=2, n_edl=1, overhead=1.0, latch_area=2.0
+        )
+        guard = Guard("strict")
+        with pytest.raises(InvariantError, match="recovery increased"):
+            guard.area_accounting(cost, 10.0, "finalize", recovery_delta=1.0)
+        # Shrinking is the job description.
+        record = Guard("strict").area_accounting(
+            cost, 10.0, "finalize", recovery_delta=-3.0
+        )
+        assert record.ok
+
+    def test_area_accounting_rejects_nan(self):
+        from repro.latches.resilient import SequentialCost
+
+        cost = SequentialCost(
+            n_slaves=1, n_masters=1, n_edl=0, overhead=1.0,
+            latch_area=math.nan,
+        )
+        guard = Guard("warn")
+        record = guard.area_accounting(cost, 10.0, "finalize")
+        assert not record.ok
+
+
+class TestGuardInFlow:
+    def test_clean_flow_passes_strict(self, small_netlist, library):
+        outcome = run_flow(
+            "grar", small_netlist, library, 1.0, guard="strict"
+        )
+        assert outcome.guard_records
+        assert all(r.ok for r in outcome.guard_records)
+        checkpoints = {r.checkpoint for r in outcome.guard_records}
+        assert {"netlist_valid", "timing_sane", "cut_legality",
+                "area_accounting"} <= checkpoints
+        assert outcome.solver_backend == "simplex"
+
+    def test_guard_off_records_nothing(self, small_netlist, library):
+        outcome = run_flow("base", small_netlist, library, 1.0)
+        assert outcome.guard_records == []
+
+    def test_every_stage_error_is_a_repro_error(self, library):
+        """Whatever breaks inside a stage surfaces typed."""
+        from repro.netlist.netlist import Netlist
+
+        with pytest.raises(ReproError) as info:
+            run_flow("base", Netlist("empty"), library, 1.0)
+        assert info.value.stage is not None
+
+    def test_shared_guard_accumulates(self, small_netlist, library):
+        guard = Guard("warn")
+        run_flow("base", small_netlist, library, 1.0, guard=guard)
+        first = len(guard.records)
+        run_flow("grar", small_netlist, library, 1.0, guard=guard)
+        assert len(guard.records) > first

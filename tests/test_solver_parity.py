@@ -1,0 +1,187 @@
+"""Solver parity: simplex / scipy / networkx agree on min-cost flow.
+
+The solver-fallback chain is only safe if every backend returns the
+same optimum (objective *and* dual certificate) — these tests pin that
+down on randomized instances with fixed seeds, then exercise the
+fallback and cross-check machinery itself.
+"""
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import (
+    InfeasibleFlowError,
+    SolverError,
+    SolverTimeoutError,
+)
+from repro.retime.mincostflow import (
+    BACKENDS,
+    MinCostFlowResult,
+    SolverPolicy,
+    solve_min_cost_flow,
+    verify_solution,
+)
+
+
+def random_instance(seed, n_nodes=8, n_extra=12, fractional=False):
+    """A feasible uncapacitated min-cost-flow instance.
+
+    A bidirected ring guarantees feasibility for any balanced demand
+    vector; extra random arcs add alternative optima.  Costs are
+    non-negative, so no instance is unbounded.
+    """
+    rng = random.Random(seed)
+    nodes = [f"n{i}" for i in range(n_nodes)]
+    arcs = []
+    for i in range(n_nodes):
+        j = (i + 1) % n_nodes
+        arcs.append((nodes[i], nodes[j], rng.randint(0, 9)))
+        arcs.append((nodes[j], nodes[i], rng.randint(0, 9)))
+    for _ in range(n_extra):
+        tail, head = rng.sample(nodes, 2)
+        arcs.append((tail, head, rng.randint(0, 9)))
+
+    denominators = (2, 3) if fractional else (1,)
+    demands = {}
+    total = Fraction(0)
+    for node in nodes[:-1]:
+        value = Fraction(rng.randint(-6, 6), rng.choice(denominators))
+        demands[node] = value
+        total += value
+    demands[nodes[-1]] = -total
+    return nodes, arcs, demands
+
+
+class TestBackendParity:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_integral_instances_agree(self, seed):
+        nodes, arcs, demands = random_instance(seed)
+        results = {}
+        for backend in BACKENDS:
+            results[backend] = solve_min_cost_flow(
+                nodes, arcs, demands,
+                SolverPolicy(backends=(backend,), verify=True),
+            )
+        objectives = {r.objective for r in results.values()}
+        assert len(objectives) == 1, objectives
+        for result in results.values():
+            # Integral problem => integral optimum (total unimodularity).
+            for value in result.flows.values():
+                assert value.denominator == 1
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_fractional_demands_agree(self, seed):
+        nodes, arcs, demands = random_instance(seed + 100, fractional=True)
+        results = [
+            solve_min_cost_flow(
+                nodes, arcs, demands,
+                SolverPolicy(backends=(backend,), verify=True),
+            )
+            for backend in BACKENDS
+        ]
+        assert len({r.objective for r in results}) == 1
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_dual_certificates_verify(self, seed):
+        nodes, arcs, demands = random_instance(seed + 200)
+        for backend in BACKENDS:
+            result = solve_min_cost_flow(
+                nodes, arcs, demands, SolverPolicy(backends=(backend,))
+            )
+            assert verify_solution(nodes, arcs, demands, result) == []
+
+    def test_cross_check_runs_all_backends(self):
+        nodes, arcs, demands = random_instance(7)
+        result = solve_min_cost_flow(
+            nodes, arcs, demands, SolverPolicy(cross_check=True)
+        )
+        answered = [a.backend for a in result.attempts if a.status == "ok"]
+        assert answered == list(BACKENDS)
+        assert result.backend == "simplex"
+
+
+class TestFallbackChain:
+    def test_simplex_budget_falls_through_to_scipy(self):
+        nodes, arcs, demands = random_instance(3, n_nodes=10)
+        policy = SolverPolicy(max_iterations=1)
+        result = solve_min_cost_flow(nodes, arcs, demands, policy)
+        assert result.backend == "scipy"
+        attempts = {a.backend: a for a in result.attempts}
+        assert attempts["simplex"].status == "failed"
+        assert attempts["simplex"].error_type == "SolverTimeoutError"
+        # The fallback answer is still the true optimum.
+        reference = solve_min_cost_flow(
+            nodes, arcs, demands, SolverPolicy(backends=("networkx",))
+        )
+        assert result.objective == reference.objective
+
+    def test_single_capped_backend_raises_timeout(self):
+        nodes, arcs, demands = random_instance(3, n_nodes=10)
+        with pytest.raises(SolverTimeoutError):
+            solve_min_cost_flow(
+                nodes, arcs, demands,
+                SolverPolicy(backends=("simplex",), max_iterations=1),
+            )
+
+    def test_all_backends_failing_reports_attempts(self):
+        nodes, arcs, demands = random_instance(5)
+        with pytest.raises(SolverError) as info:
+            solve_min_cost_flow(
+                nodes, arcs, demands,
+                SolverPolicy(backends=("simplex",), max_iterations=1),
+            )
+        # The chain annotates the terminal error; subclass raises keep
+        # their own message.
+        assert "iteration budget" in str(info.value)
+
+    def test_unknown_backend_rejected(self):
+        nodes, arcs, demands = random_instance(1)
+        with pytest.raises(SolverError, match="unknown solver backend"):
+            solve_min_cost_flow(
+                nodes, arcs, demands, SolverPolicy(backends=("gurobi",))
+            )
+
+    def test_infeasible_propagates_without_fallback(self):
+        nodes = ["a", "b"]
+        arcs = [("a", "b", 1)]
+        demands = {"a": Fraction(1), "b": Fraction(1)}
+        with pytest.raises(InfeasibleFlowError):
+            solve_min_cost_flow(nodes, arcs, demands)
+
+    def test_deadline_is_enforced(self):
+        nodes, arcs, demands = random_instance(9, n_nodes=12, n_extra=30)
+        policy = SolverPolicy(backends=("simplex",), deadline_s=0.0)
+        with pytest.raises(SolverTimeoutError, match="deadline"):
+            solve_min_cost_flow(nodes, arcs, demands, policy)
+
+
+class TestRetimingParity:
+    def test_retiming_flow_matches_lp_under_every_backend(self, fig4):
+        from repro.retime.graph import build_retiming_graph
+        from repro.retime.ilp import solve_retiming_lp
+        from repro.retime.netflow import solve_retiming_flow
+        from repro.retime.regions import compute_regions
+
+        regions = compute_regions(fig4)
+        graph = build_retiming_graph(fig4, regions, overhead=2.0)
+        reference = solve_retiming_lp(graph).objective
+        for backend in BACKENDS:
+            solution = solve_retiming_flow(
+                graph, policy=SolverPolicy(backends=(backend,))
+            )
+            assert solution.objective == reference
+            assert solution.backend == backend
+
+    def test_flow_solution_records_attempts(self, fig4):
+        from repro.retime.graph import build_retiming_graph
+        from repro.retime.netflow import solve_retiming_flow
+        from repro.retime.regions import compute_regions
+
+        regions = compute_regions(fig4)
+        graph = build_retiming_graph(fig4, regions, overhead=2.0)
+        solution = solve_retiming_flow(graph)
+        assert solution.backend == "simplex"
+        assert [a.backend for a in solution.attempts] == ["simplex"]
+        assert solution.attempts[0].status == "ok"

@@ -35,8 +35,10 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from typing import List, Optional
 
+from repro import metrics
 from repro.cells import default_library
 from repro.circuits import build_benchmark, suite_names
 from repro.errors import (
@@ -140,12 +142,16 @@ def _cmd_tables(args: argparse.Namespace) -> int:
     circuits = args.circuits or ["s1196", "s1238", "s1423", "s1488"]
     if circuits == ["full"]:
         circuits = suite_names()
+    jobs = max(1, args.jobs)
+    collector = metrics.MetricsCollector()
+    suite_started = time.perf_counter()
     suite = ExperimentSuite(
         circuits=circuits,
         error_rate_cycles=args.cycles,
         guard=args.guard,
         isolate=args.isolate,
         memo_path=args.memo,
+        checkpoint_every=8 if jobs > 1 else 1,
     )
     producers = [
         ("table i", suite.table1),
@@ -160,24 +166,50 @@ def _cmd_tables(args: argparse.Namespace) -> int:
         ("vi-d", suite.flop_comparison),
     ]
     wanted = [w.lower() for w in (args.tables or [])]
-    for _, producer in producers:
-        table = None
-        if wanted:
-            # Filter by the rendered id without computing the table:
-            # producer names map 1:1 onto table ids.
-            label = producer.__name__
-            table_id = {
-                "table1": "table i", "table2": "table ii",
-                "table3": "table iii", "table4": "table iv",
-                "table5": "table v", "table6": "table vi",
-                "table7": "table vii", "table8": "table viii",
-                "table9": "table ix", "flop_comparison": "vi-d",
-            }[label]
-            if table_id not in wanted:
-                continue
-        table = producer()
-        print()
-        print(table.render())
+    parallel_summary = None
+    with metrics.collect_into(collector):
+        if jobs > 1:
+            from repro.harness.parallel import (
+                methods_for_tables,
+                run_suite_parallel,
+            )
+
+            methods, need_rates = methods_for_tables(wanted or None)
+            parallel_summary = run_suite_parallel(
+                suite, jobs=jobs, methods=methods, error_rates=need_rates
+            )
+        for _, producer in producers:
+            table = None
+            if wanted:
+                # Filter by the rendered id without computing the
+                # table: producer names map 1:1 onto table ids.
+                label = producer.__name__
+                table_id = {
+                    "table1": "table i", "table2": "table ii",
+                    "table3": "table iii", "table4": "table iv",
+                    "table5": "table v", "table6": "table vi",
+                    "table7": "table vii", "table8": "table viii",
+                    "table9": "table ix", "flop_comparison": "vi-d",
+                }[label]
+                if table_id not in wanted:
+                    continue
+            table = producer()
+            print()
+            print(table.render())
+    suite.checkpoint(force=True)
+    if args.bench_out:
+        report = metrics.bench_report(
+            collector,
+            kind="suite",
+            circuits=list(circuits),
+            tables=wanted or "all",
+            jobs=jobs,
+            wall_s=round(time.perf_counter() - suite_started, 6),
+            n_failures=len(suite.failures),
+            parallel=parallel_summary,
+        )
+        metrics.write_bench(args.bench_out, report)
+        print(f"\nbench report written to {args.bench_out}", file=sys.stderr)
     if suite.failures:
         report = suite.failure_report()
         print(
@@ -270,6 +302,16 @@ def build_parser() -> argparse.ArgumentParser:
     tables.add_argument(
         "--memo", default=None, metavar="PATH",
         help="JSON memo of completed runs, for resuming a crashed suite",
+    )
+    tables.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for the (circuit, method, c) cell sweep;"
+             " results are bit-identical to the sequential run",
+    )
+    tables.add_argument(
+        "--bench-out", default=None, metavar="PATH",
+        help="write a BENCH_suite.json artifact (per-stage wall-clock,"
+             " peak RSS, solver-backend and STA cache counters)",
     )
     tables.set_defaults(func=_cmd_tables)
 

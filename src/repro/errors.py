@@ -32,6 +32,8 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Any, Dict, Iterator, List, Optional, Union
 
+from repro import metrics
+
 
 class ReproError(Exception):
     """Base class: a diagnosable failure anywhere in the pipeline."""
@@ -149,20 +151,26 @@ def stage_scope(
     missing ``stage``/``circuit`` context filled in; anything else is
     wrapped in a :class:`FlowStageError` so callers can rely on the
     taxonomy instead of catching bare ``Exception``.
+
+    When a :mod:`repro.metrics` collector is ambient, the block is
+    also timed as stage ``stage`` (wall clock + peak RSS) — this is
+    how the per-stage counters of ``BENCH_*.json`` artifacts are fed
+    without a second instrumentation layer in every flow.
     """
-    try:
-        yield
-    except ReproError as exc:
-        raise exc.annotate(stage=stage, circuit=circuit)
-    except _PASSTHROUGH:
-        raise
-    except Exception as exc:
-        raise FlowStageError(
-            f"stage {stage!r} failed: {exc}",
-            stage=stage,
-            circuit=circuit,
-            payload={"cause": type(exc).__name__},
-        ) from exc
+    with metrics.stage_timer(stage):
+        try:
+            yield
+        except ReproError as exc:
+            raise exc.annotate(stage=stage, circuit=circuit)
+        except _PASSTHROUGH:
+            raise
+        except Exception as exc:
+            raise FlowStageError(
+                f"stage {stage!r} failed: {exc}",
+                stage=stage,
+                circuit=circuit,
+                payload={"cause": type(exc).__name__},
+            ) from exc
 
 
 def _jsonable(value: Any) -> Any:

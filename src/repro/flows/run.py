@@ -20,6 +20,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple, Union
 
+from repro import metrics
 from repro.cells.library import Library
 from repro.clocks import ClockScheme, scheme_from_period
 from repro.errors import FlowStageError, stage_scope
@@ -329,6 +330,10 @@ def run_flow(
                 else None
             ),
         )
+    runtime_s = time.perf_counter() - started
+    metrics.count("flow.runs")
+    metrics.count(f"flow.method.{method}")
+    metrics.count("flow.wall_s", runtime_s)
     return FlowOutcome(
         method=method,
         circuit_name=netlist.name,
@@ -341,7 +346,7 @@ def run_flow(
         edl_endpoints=edl,
         cost=cost,
         comb_area=comb_area,
-        runtime_s=time.perf_counter() - started,
+        runtime_s=runtime_s,
         guard_records=sentinel.records,
         solver_backend=retiming.notes.get("solver_backend", solver),
     )

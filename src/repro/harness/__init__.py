@@ -3,6 +3,11 @@
 from repro.harness.tables import TableResult, render_table
 from repro.harness.paper import PAPER_AVERAGES, PAPER_TABLE1
 from repro.harness.experiments import ExperimentSuite
+from repro.harness.parallel import (
+    plan_cells,
+    run_cell,
+    run_suite_parallel,
+)
 
 __all__ = [
     "TableResult",
@@ -10,4 +15,7 @@ __all__ = [
     "PAPER_AVERAGES",
     "PAPER_TABLE1",
     "ExperimentSuite",
+    "plan_cells",
+    "run_cell",
+    "run_suite_parallel",
 ]

@@ -142,6 +142,8 @@ class ExperimentSuite:
         isolate: bool = False,
         memo_path: Optional[str] = None,
         solver_policy=None,
+        checkpoint_every: int = 1,
+        checkpoint_interval_s: float = 0.0,
     ) -> None:
         self.circuit_names = list(circuits or suite_names())
         self.library = library or default_library()
@@ -151,11 +153,18 @@ class ExperimentSuite:
         self.isolate = isolate
         self.memo_path = memo_path
         self.solver_policy = solver_policy
+        #: batched checkpointing: rewrite the memo only every N dirty
+        #: cells (or after ``checkpoint_interval_s`` seconds), instead
+        #: of a full JSON rewrite per cell.  1 = write every time.
+        self.checkpoint_every = max(1, int(checkpoint_every))
+        self.checkpoint_interval_s = float(checkpoint_interval_s)
         self.failures: List[FailedOutcome] = []
         self._netlists: Dict[str, Netlist] = {}
         self._schemes: Dict[str, ClockScheme] = {}
         self._outcomes: Dict[Tuple[str, str, float], AnyOutcome] = {}
         self._error_rates: Dict[Tuple[str, str, float], float] = {}
+        self._dirty_cells = 0
+        self._last_checkpoint = time.monotonic()
         if memo_path:
             self._load_memo(memo_path)
 
@@ -202,16 +211,14 @@ class ExperimentSuite:
             canonical = (name, method, 1.0)
             if canonical not in self._outcomes:
                 self._outcomes[canonical] = self._run(name, method, 1.0)
-                if self.memo_path:
-                    self.checkpoint()
+                self.checkpoint(force=False)
             base = self._outcomes[canonical]
             if overhead == 1.0:
                 return base
             self._outcomes[key] = self._recost(base, overhead)
             return self._outcomes[key]
         self._outcomes[key] = self._run(name, method, overhead)
-        if self.memo_path:
-            self.checkpoint()
+        self.checkpoint(force=False)
         return self._outcomes[key]
 
     def _run(self, name: str, method: str, overhead: float) -> AnyOutcome:
@@ -241,7 +248,7 @@ class ExperimentSuite:
                 error=exc.to_dict(),
             )
             self.failures.append(failed)
-            self.checkpoint()
+            self.checkpoint(force=False)
             return failed
         return outcome
 
@@ -303,8 +310,7 @@ class ExperimentSuite:
                 self._error_rates[key] = _NAN
                 return _NAN
             self._error_rates[key] = report.error_rate
-            if self.memo_path:
-                self.checkpoint()
+            self.checkpoint(force=False)
         return self._error_rates[key]
 
     # -- failure reporting and resumability --------------------------------
@@ -327,13 +333,55 @@ class ExperimentSuite:
 
     @staticmethod
     def _memo_key(key: Tuple[str, str, float]) -> str:
-        name, method, overhead = key
-        return f"{name}|{method}|{overhead}"
+        """Injective memo key: a JSON array, immune to ``|`` in names.
 
-    def checkpoint(self) -> None:
-        """Persist completed runs so a crashed suite can resume."""
+        The legacy format joined with ``|`` and split with
+        ``rsplit("|", 2)``, so a circuit name containing ``|``
+        corrupted the resume memo; JSON also round-trips the float
+        overhead exactly (``repr`` semantics).
+        """
+        name, method, overhead = key
+        return json.dumps([name, method, overhead])
+
+    @staticmethod
+    def _decode_memo_key(memo_key: str) -> Tuple[str, str, float]:
+        """Decode a memo key, accepting the legacy ``|`` format.
+
+        Legacy memos are migrated transparently: they decode here and
+        the next :meth:`checkpoint` rewrites them JSON-encoded.
+        """
+        if memo_key.startswith("["):
+            try:
+                parts = json.loads(memo_key)
+            except ValueError:
+                parts = None
+            if isinstance(parts, list) and len(parts) == 3:
+                name, method, overhead = parts
+                return (str(name), str(method), float(overhead))
+        name, method, overhead = memo_key.rsplit("|", 2)
+        return (name, method, float(overhead))
+
+    def checkpoint(self, force: bool = True) -> bool:
+        """Persist completed runs so a crashed suite can resume.
+
+        ``force=False`` marks one cell dirty and only rewrites the
+        memo once ``checkpoint_every`` cells accumulated (or
+        ``checkpoint_interval_s`` elapsed) — the batching that keeps a
+        parallel suite from serializing on full-JSON rewrites.
+        Returns True when the memo file was written.
+        """
         if not self.memo_path:
-            return
+            return False
+        if not force:
+            self._dirty_cells += 1
+            due = self._dirty_cells >= self.checkpoint_every
+            if not due and self.checkpoint_interval_s > 0:
+                due = (
+                    time.monotonic() - self._last_checkpoint
+                    >= self.checkpoint_interval_s
+                )
+            if not due:
+                return False
         runs = {}
         for key, out in self._outcomes.items():
             if isinstance(out, FailedOutcome):
@@ -357,6 +405,9 @@ class ExperimentSuite:
         with open(tmp, "w", encoding="utf-8") as stream:
             json.dump(payload, stream, indent=1)
         os.replace(tmp, self.memo_path)
+        self._dirty_cells = 0
+        self._last_checkpoint = time.monotonic()
+        return True
 
     def _load_memo(self, path: str) -> None:
         if not os.path.exists(path):
@@ -364,12 +415,27 @@ class ExperimentSuite:
         with open(path, encoding="utf-8") as stream:
             payload = json.load(stream)
         for memo_key, fields_ in payload.get("runs", {}).items():
-            name, method, overhead = memo_key.rsplit("|", 2)
-            key = (name, method, float(overhead))
+            key = self._decode_memo_key(memo_key)
             self._outcomes[key] = FlowRecord(**fields_)
         for memo_key, rate in payload.get("error_rates", {}).items():
-            name, method, overhead = memo_key.rsplit("|", 2)
-            self._error_rates[(name, method, float(overhead))] = rate
+            self._error_rates[self._decode_memo_key(memo_key)] = rate
+
+    # -- parallel-engine merge hooks ---------------------------------------
+
+    def record_outcome(
+        self, key: Tuple[str, str, float], outcome: AnyOutcome
+    ) -> None:
+        """Merge one completed (possibly remote) cell into the memo."""
+        self._outcomes[key] = outcome
+        if isinstance(outcome, FailedOutcome):
+            self.failures.append(outcome)
+        self.checkpoint(force=False)
+
+    def record_error_rate(
+        self, key: Tuple[str, str, float], rate: float
+    ) -> None:
+        """Merge one simulated error rate into the memo."""
+        self._error_rates[key] = rate
 
     # -- Table I ----------------------------------------------------------
 

@@ -1,0 +1,421 @@
+"""Parallel experiment engine: fan suite cells out over processes.
+
+The paper's table sweep is embarrassingly parallel — every
+(circuit, method, overhead) cell is an independent flow run — yet
+:class:`~repro.harness.experiments.ExperimentSuite` computes cells
+lazily, one at a time, as the tables pull on them.  This module adds
+the production-scale path: :func:`run_suite_parallel` plans the cells
+a table selection needs, fans the *canonical* ones out over a
+:class:`concurrent.futures.ProcessPoolExecutor`, and merges the
+results back into the suite's memo so the tables render from warm
+cache.
+
+Design points:
+
+* **c-independent re-costing is respected** — methods in
+  ``ExperimentSuite.C_INDEPENDENT`` run once at the canonical
+  overhead ``c = 1.0``; the other overheads are derived in-process by
+  re-costing, so derived cells never spawn a worker
+  (:func:`plan_cells` emits canonical cells only).
+* **bit-identical results** — each worker rebuilds nothing: it
+  receives the parent's exact :class:`~repro.netlist.netlist.Netlist`
+  copy, clock scheme, and library, and runs the same deterministic
+  ``run_flow`` / ``estimate_error_rate`` code the sequential path
+  runs.  A parity test pins this down.
+* **cells that need error rates simulate in the worker** — Table VIII
+  methods carry the simulation along, so a resumed
+  :class:`~repro.harness.experiments.FlowRecord` never forces a
+  sequential re-run.
+* **batched checkpoints** — merging bumps the suite's memo through
+  :meth:`ExperimentSuite.record_outcome` (throttled writes) and
+  flushes once at the end, instead of a full JSON rewrite per cell.
+* **metrics ride along** — every worker collects per-stage wall-clock
+  / peak-RSS counters (:mod:`repro.metrics`) and the parent merges
+  them into the ambient collector, so ``--bench-out`` sees the whole
+  fleet.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro import errors as errors_mod
+from repro import metrics
+from repro.cells.library import Library
+from repro.clocks import ClockScheme
+from repro.errors import ReproError, stage_scope
+from repro.flows import run_flow
+from repro.harness.experiments import (
+    ExperimentSuite,
+    FailedOutcome,
+    FlowRecord,
+    LEVELS,
+)
+from repro.netlist.netlist import Netlist
+from repro.sim import estimate_error_rate
+
+#: Methods whose cells the full table set (I-IX + VI-D) reads.
+TABLE_METHODS: Tuple[str, ...] = (
+    "base",
+    "evl",
+    "nvl",
+    "rvl",
+    "rvl-movable",
+    "grar",
+    "grar-gate",
+)
+
+#: Methods Table VIII simulates error rates for.
+ERROR_RATE_METHODS = frozenset({"base", "rvl", "grar"})
+
+#: Flow methods each table pulls on (table ids as the CLI spells them).
+TABLE_METHOD_NEEDS: Dict[str, Tuple[str, ...]] = {
+    "table i": (),
+    "table ii": ("grar-gate", "grar"),
+    "table iii": ("nvl", "evl", "rvl"),
+    "table iv": ("base", "rvl", "grar"),
+    "table v": ("base", "rvl", "grar"),
+    "table vi": ("base", "rvl", "grar"),
+    "table vii": ("base", "rvl", "grar"),
+    "table viii": ("base", "rvl", "grar"),
+    "table ix": ("rvl", "rvl-movable"),
+    "vi-d": ("grar",),
+}
+
+#: Tables that additionally need simulated error rates.
+ERROR_RATE_TABLES = frozenset({"table viii"})
+
+
+def methods_for_tables(
+    wanted: Optional[Iterable[str]],
+) -> Tuple[Tuple[str, ...], bool]:
+    """(methods, need_error_rates) for a table selection (None = all)."""
+    if not wanted:
+        return TABLE_METHODS, True
+    methods: List[str] = []
+    need_rates = False
+    for table_id in wanted:
+        table_id = table_id.lower()
+        for method in TABLE_METHOD_NEEDS.get(table_id, ()):
+            if method not in methods:
+                methods.append(method)
+        if table_id in ERROR_RATE_TABLES:
+            need_rates = True
+    return tuple(methods), need_rates
+
+
+@dataclass(frozen=True)
+class CellTask:
+    """One canonical (circuit, method, overhead) unit of work.
+
+    Ships the parent's exact inputs so the worker reproduces the
+    sequential run bit for bit.
+    """
+
+    circuit: str
+    method: str
+    overhead: float
+    netlist: Netlist
+    scheme: ClockScheme
+    library: Library
+    guard: Optional[str]
+    solver_policy: Any
+    error_rate: bool
+    cycles: int
+    seed: int
+
+    @property
+    def key(self) -> Tuple[str, str, float]:
+        return (self.circuit, self.method, self.overhead)
+
+
+@dataclass
+class CellResult:
+    """What a worker sends back: a record or a structured failure."""
+
+    circuit: str
+    method: str
+    overhead: float
+    record: Optional[Dict[str, Any]] = None
+    error: Optional[Dict[str, Any]] = None
+    error_type: Optional[str] = None
+    error_rate: Optional[float] = None
+    wall_s: float = 0.0
+    metrics: Optional[Dict[str, Any]] = None
+
+    @property
+    def key(self) -> Tuple[str, str, float]:
+        return (self.circuit, self.method, self.overhead)
+
+    @property
+    def failed(self) -> bool:
+        return self.record is None
+
+
+def plan_cells(
+    suite: ExperimentSuite,
+    methods: Sequence[str] = TABLE_METHODS,
+    error_rates: bool = True,
+) -> List[CellTask]:
+    """The canonical cells the suite still needs, ready to ship.
+
+    c-independent methods contribute only their ``c = 1.0`` canonical
+    cell (derived overheads re-cost in-process); cells already memoized
+    — including from a resumed memo — are skipped unless they still
+    owe an error rate.
+    """
+    tasks: List[CellTask] = []
+    for name in suite.circuit_names:
+        try:
+            # Same prepare scope as ExperimentSuite._run: a broken
+            # netlist surfaces as a typed error (strict) or FAILED
+            # cells (isolate), never a bare KeyError during planning.
+            with stage_scope("prepare", circuit=name):
+                netlist = suite.netlist(name)
+                scheme = suite.scheme(name)
+        except ReproError as exc:
+            if not suite.isolate:
+                raise
+            exc.annotate(circuit=name)
+            for method in methods:
+                levels = (
+                    (1.0,)
+                    if method in suite.C_INDEPENDENT
+                    else tuple(c for _, c in LEVELS)
+                )
+                for overhead in levels:
+                    key = (name, method, overhead)
+                    if key in suite._outcomes and not isinstance(
+                        suite._outcomes[key], FailedOutcome
+                    ):
+                        continue
+                    suite.record_outcome(
+                        key,
+                        FailedOutcome(
+                            method=method,
+                            circuit_name=name,
+                            overhead=overhead,
+                            stage=exc.stage,
+                            error=exc.to_dict(),
+                        ),
+                    )
+            continue
+        for method in methods:
+            if method in suite.C_INDEPENDENT:
+                levels: Tuple[float, ...] = (1.0,)
+            else:
+                levels = tuple(c for _, c in LEVELS)
+            for overhead in levels:
+                key = (name, method, overhead)
+                have_outcome = key in suite._outcomes and not isinstance(
+                    suite._outcomes[key], FailedOutcome
+                )
+                need_rate = (
+                    error_rates
+                    and method in ERROR_RATE_METHODS
+                    and key not in suite._error_rates
+                )
+                if have_outcome and not need_rate:
+                    continue
+                tasks.append(
+                    CellTask(
+                        circuit=name,
+                        method=method,
+                        overhead=overhead,
+                        netlist=netlist,
+                        scheme=scheme,
+                        library=suite.library,
+                        guard=suite.guard,
+                        solver_policy=suite.solver_policy,
+                        error_rate=need_rate,
+                        cycles=suite.error_rate_cycles,
+                        seed=suite.sim_seed,
+                    )
+                )
+    return tasks
+
+
+def run_cell(task: CellTask) -> CellResult:
+    """Execute one cell; the worker entry point (also usable inline).
+
+    Mirrors ``ExperimentSuite._run`` plus the Table VIII simulation:
+    failures come back as structured :class:`ReproError` dictionaries
+    so the parent can either isolate them (``FailedOutcome``) or
+    re-raise the typed error.
+    """
+    collector = metrics.MetricsCollector()
+    started = time.perf_counter()
+    result = CellResult(
+        circuit=task.circuit, method=task.method, overhead=task.overhead
+    )
+    with metrics.collect_into(collector):
+        try:
+            outcome = run_flow(
+                task.method,
+                task.netlist,
+                task.library,
+                task.overhead,
+                scheme=task.scheme,
+                guard=task.guard,
+                solver_policy=task.solver_policy,
+            )
+        except ReproError as exc:
+            exc.annotate(circuit=task.circuit)
+            result.error = exc.to_dict()
+            result.error_type = type(exc).__name__
+        else:
+            result.record = dict(FlowRecord.from_outcome(outcome).__dict__)
+            if task.error_rate:
+                try:
+                    with stage_scope("simulate", circuit=task.circuit):
+                        report = estimate_error_rate(
+                            outcome.circuit,
+                            outcome.retiming.placement,
+                            outcome.edl_endpoints,
+                            cycles=task.cycles,
+                            seed=task.seed,
+                        )
+                except ReproError as exc:
+                    exc.annotate(circuit=task.circuit)
+                    result.error = exc.to_dict()
+                    result.error_type = type(exc).__name__
+                    result.error_rate = float("nan")
+                else:
+                    result.error_rate = report.error_rate
+    result.wall_s = time.perf_counter() - started
+    result.metrics = collector.to_dict()
+    return result
+
+
+def _rebuild_error(result: CellResult) -> ReproError:
+    """Reconstruct the worker's typed error on the parent side."""
+    payload = result.error or {}
+    cls = getattr(errors_mod, result.error_type or "", None)
+    if not (isinstance(cls, type) and issubclass(cls, ReproError)):
+        cls = errors_mod.FlowStageError
+    exc = cls(str(payload.get("message", "parallel worker failure")))
+    exc.stage = payload.get("stage")
+    exc.circuit = payload.get("circuit") or result.circuit
+    exc.payload = dict(payload.get("payload") or {})
+    return exc
+
+
+def _merge_result(suite: ExperimentSuite, result: CellResult) -> None:
+    """Fold one worker result into the suite exactly like a local run."""
+    if result.failed:
+        error = result.error or {}
+        suite.record_outcome(
+            result.key,
+            FailedOutcome(
+                method=result.method,
+                circuit_name=result.circuit,
+                overhead=result.overhead,
+                stage=error.get("stage"),
+                error=error,
+            ),
+        )
+        return
+    suite.record_outcome(result.key, FlowRecord(**result.record))
+    if result.error_rate is not None:
+        suite.record_error_rate(result.key, result.error_rate)
+        if result.error is not None:
+            # Flow succeeded but the simulation failed: mirror the
+            # sequential path, which records the failure and NaN.
+            suite.failures.append(
+                FailedOutcome(
+                    method=result.method,
+                    circuit_name=result.circuit,
+                    overhead=result.overhead,
+                    stage=(result.error or {}).get("stage"),
+                    error=result.error or {},
+                )
+            )
+
+
+def run_suite_parallel(
+    suite: ExperimentSuite,
+    jobs: int,
+    methods: Optional[Sequence[str]] = None,
+    error_rates: bool = True,
+    checkpoint_every: Optional[int] = None,
+) -> Dict[str, Any]:
+    """Prewarm the suite's memo with ``jobs`` worker processes.
+
+    Returns a bench summary (cells, wall clock, per-cell timings,
+    merged worker metrics); the suite afterwards renders every table
+    from the warm memo.  With ``jobs <= 1`` the cells run inline
+    through the same code path, which is what the parity test
+    exploits.
+
+    Failures honour ``suite.isolate``: isolated suites record
+    ``FailedOutcome`` cells, strict suites re-raise the first worker
+    error as its original :class:`ReproError` type.
+    """
+    if checkpoint_every is None:
+        checkpoint_every = max(suite.checkpoint_every, 8)
+    suite.checkpoint_every = max(1, int(checkpoint_every))
+
+    tasks = plan_cells(
+        suite, methods=tuple(methods or TABLE_METHODS),
+        error_rates=error_rates,
+    )
+    started = time.perf_counter()
+    results: List[CellResult] = []
+    if jobs <= 1 or len(tasks) <= 1:
+        for task in tasks:
+            results.append(run_cell(task))
+    else:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            pending = {pool.submit(run_cell, task) for task in tasks}
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    results.append(future.result())
+    # Merge in a deterministic order so memo files and failure lists
+    # do not depend on completion timing.
+    results.sort(key=lambda r: (r.circuit, r.method, r.overhead))
+    first_failure: Optional[CellResult] = None
+    ambient = metrics.current()
+    for result in results:
+        if result.metrics and ambient is not None:
+            ambient.merge_dict(result.metrics)
+        if result.failed and not suite.isolate:
+            if first_failure is None:
+                first_failure = result
+            continue
+        _merge_result(suite, result)
+    suite.checkpoint(force=True)
+    wall_s = time.perf_counter() - started
+    if first_failure is not None:
+        raise _rebuild_error(first_failure)
+
+    busy_s = sum(r.wall_s for r in results)
+    summary: Dict[str, Any] = {
+        "jobs": jobs,
+        "n_cells": len(results),
+        "n_failed": sum(1 for r in results if r.failed),
+        "wall_s": round(wall_s, 6),
+        "cells_wall_s": round(busy_s, 6),
+        "parallel_efficiency": round(
+            busy_s / (wall_s * jobs), 4
+        ) if wall_s > 0 and jobs > 0 else 0.0,
+        "cells": [
+            {
+                "circuit": r.circuit,
+                "method": r.method,
+                "overhead": r.overhead,
+                "wall_s": round(r.wall_s, 6),
+                "failed": r.failed,
+                "solver_backend": (
+                    (r.record or {}).get("solver_backend", "")
+                ),
+            }
+            for r in results
+        ],
+    }
+    metrics.count("parallel.cells", len(results))
+    metrics.count("parallel.wall_s", wall_s)
+    return summary

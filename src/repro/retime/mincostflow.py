@@ -34,6 +34,7 @@ from dataclasses import dataclass, field
 from fractions import Fraction
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro import metrics
 from repro.errors import (
     InfeasibleFlowError,
     SolverError,
@@ -403,6 +404,7 @@ def solve_min_cost_flow(
     :class:`SolverError` (with every attempt recorded in its payload)
     when all backends break down.
     """
+    chain_started = time.perf_counter()
     attempts: List[BackendAttempt] = []
     winner: Optional[MinCostFlowResult] = None
     last_error: Optional[SolverError] = None
@@ -419,6 +421,7 @@ def solve_min_cost_flow(
         except (InfeasibleFlowError, UnboundedFlowError) as exc:
             # A verdict about the problem itself: retrying with a
             # different backend cannot change it.
+            metrics.count(f"mcf.verdict.{type(exc).__name__}")
             exc.payload.setdefault(
                 "attempts", [a.to_dict() for a in attempts]
             )
@@ -426,6 +429,7 @@ def solve_min_cost_flow(
             raise
         except SolverError as exc:
             last_error = exc
+            metrics.count(f"mcf.attempt.{backend}.failed")
             attempts.append(
                 BackendAttempt(
                     backend=backend,
@@ -436,6 +440,7 @@ def solve_min_cost_flow(
                 )
             )
             continue
+        metrics.count(f"mcf.attempt.{backend}.ok")
         attempts.append(
             BackendAttempt(
                 backend=backend,
@@ -489,5 +494,8 @@ def solve_min_cost_flow(
                 },
             )
 
+    metrics.count(f"mcf.solved.{winner.backend}")
+    metrics.count("mcf.solves")
+    metrics.count("mcf.wall_s", time.perf_counter() - chain_started)
     winner.attempts = attempts
     return winner

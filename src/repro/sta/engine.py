@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Mapping, Optional
 
+from repro import metrics
 from repro.cells.library import Library
 from repro.errors import TimingError
 from repro.netlist.netlist import Gate, GateType, Netlist
@@ -28,6 +29,7 @@ from repro.sta.delay_models import (
 from repro.sta.loads import LoadModel
 
 NEG_INF = float("-inf")
+NAN = float("nan")
 
 
 class TimingEngine:
@@ -60,15 +62,20 @@ class TimingEngine:
         self._forward: Optional[Dict[str, float]] = None
         self._backward_any: Optional[Dict[str, float]] = None
         self._backward_to: Dict[str, Dict[str, float]] = {}
+        self._reverse_topo_cache: Optional[List[str]] = None
+        self._topo_index: Dict[str, int] = {}
 
     # -- cache management ----------------------------------------------
 
     def invalidate(self) -> None:
         """Drop all timing caches (after sizing)."""
+        metrics.count("sta.invalidate")
         self.calculator.invalidate()
         self._forward = None
         self._backward_any = None
         self._backward_to.clear()
+        self._reverse_topo_cache = None
+        self._topo_index = {}
 
     # -- forward timing --------------------------------------------------
 
@@ -87,10 +94,35 @@ class TimingEngine:
             elif gate.gtype is GateType.OUTPUT:
                 continue
             else:
-                arrivals[name] = max(
-                    arrivals[d] + calc.edge_delay(d, name)
-                    for d in gate.fanins
-                )
+                best = NEG_INF
+                saw_nan = False
+                for driver in gate.fanins:
+                    if driver not in arrivals:
+                        raise TimingError(
+                            f"gate {name!r} reads {driver!r}, which has "
+                            f"no forward arrival (endpoint or outside "
+                            f"the combinational cloud)",
+                            payload={"gate": name, "fanin": driver},
+                        )
+                    candidate = arrivals[driver] + calc.edge_delay(
+                        driver, name
+                    )
+                    if candidate != candidate:
+                        # NaN delay: keep it visible for the guard's
+                        # sanity checkpoint; max() would swallow it.
+                        saw_nan = True
+                        continue
+                    best = max(best, candidate)
+                if best == NEG_INF:
+                    if saw_nan:
+                        best = NAN
+                    else:
+                        raise TimingError(
+                            f"gate {name!r} has no fanins to propagate "
+                            f"arrivals from",
+                            payload={"gate": name},
+                        )
+                arrivals[name] = best
         return arrivals
 
     def _compute_forward_rf(self) -> Dict[str, float]:
@@ -114,7 +146,15 @@ class TimingEngine:
                 continue
             best_rise = NEG_INF
             best_fall = NEG_INF
+            saw_nan = False
             for driver in set(gate.fanins):
+                if driver not in rise:
+                    raise TimingError(
+                        f"gate {name!r} reads {driver!r}, which has no "
+                        f"forward arrival (endpoint or outside the "
+                        f"combinational cloud)",
+                        payload={"gate": name, "fanin": driver},
+                    )
                 for in_rising, out_rising, delay in calc.transition_edges(
                     driver, name
                 ):
@@ -122,10 +162,32 @@ class TimingEngine:
                     if base == NEG_INF:
                         continue
                     candidate = base + delay
+                    if candidate != candidate:
+                        # NaN delay or NaN upstream state: keep it
+                        # visible for the guard's sanity checkpoint
+                        # instead of letting max() swallow it.
+                        saw_nan = True
+                        continue
                     if out_rising:
                         best_rise = max(best_rise, candidate)
                     else:
                         best_fall = max(best_fall, candidate)
+            if best_rise == NEG_INF and best_fall == NEG_INF:
+                if saw_nan:
+                    best_rise = NAN
+                    best_fall = NAN
+                else:
+                    # Silently storing -inf would poison every
+                    # downstream max(); name the gate instead.
+                    raise TimingError(
+                        f"gate {name!r} is unreachable under the "
+                        f"rise/fall transition edges of its fanins "
+                        f"{sorted(set(gate.fanins))}",
+                        payload={
+                            "gate": name,
+                            "fanins": sorted(set(gate.fanins)),
+                        },
+                    )
             rise[name] = best_rise
             fall[name] = best_fall
         return {
@@ -135,7 +197,9 @@ class TimingEngine:
 
     def forward_arrival(self, name: str) -> float:
         """``D^f``: latest arrival at the output of gate ``name``."""
+        metrics.count("sta.forward.query")
         if self._forward is None:
+            metrics.count("sta.forward.compute")
             self._forward = self._compute_forward()
         try:
             return self._forward[name]
@@ -147,12 +211,32 @@ class TimingEngine:
         gate = self.netlist[endpoint]
         if gate.gtype not in (GateType.OUTPUT, GateType.DFF):
             raise ValueError(f"{endpoint!r} is not an endpoint")
+        if not gate.fanins:
+            raise TimingError(
+                f"endpoint {endpoint!r} has no fanins: nothing arrives "
+                f"at it",
+                payload={"endpoint": endpoint},
+            )
         return max(self.forward_arrival(d) for d in gate.fanins)
 
     # -- backward timing ---------------------------------------------------
 
     def _reverse_topo(self) -> List[str]:
-        return list(reversed(self.netlist.topo_order()))
+        """Reverse topological order, cached until :meth:`invalidate`.
+
+        Re-materializing ``list(reversed(topo_order()))`` per endpoint
+        made every backward query pay an O(V) rebuild; the suite asks
+        for hundreds of endpoint tables between invalidations.
+        """
+        if self._reverse_topo_cache is None:
+            self._reverse_topo_cache = list(
+                reversed(self.netlist.topo_order())
+            )
+            self._topo_index = {
+                name: index
+                for index, name in enumerate(self._reverse_topo_cache)
+            }
+        return self._reverse_topo_cache
 
     def _compute_backward_any(self) -> Dict[str, float]:
         calc = self.calculator
@@ -176,7 +260,9 @@ class TimingEngine:
 
     def max_backward(self, name: str) -> float:
         """``max_t D^b(name, t)`` over all endpoints (-inf if none)."""
+        metrics.count("sta.backward_any.query")
         if self._backward_any is None:
+            metrics.count("sta.backward_any.compute")
             self._backward_any = self._compute_backward_any()
         return self._backward_any.get(name, NEG_INF)
 
@@ -187,9 +273,14 @@ class TimingEngine:
         cone = self.netlist.fanin_cone(endpoint)
         calc = self.calculator
         netlist = self.netlist
+        self._reverse_topo()  # ensure the cached topo index exists
+        topo_index = self._topo_index
         result: Dict[str, float] = {endpoint: 0.0}
-        for name in self._reverse_topo():
-            if name not in cone or name == endpoint:
+        # Only the fanin cone can reach the endpoint: visiting just its
+        # members (in reverse topological order) turns the per-endpoint
+        # cost from O(V + E) into O(|cone| log |cone| + E_cone).
+        for name in sorted(cone, key=topo_index.__getitem__):
+            if name == endpoint:
                 continue
             best = NEG_INF
             for user_name in netlist.fanouts(name):
@@ -211,8 +302,10 @@ class TimingEngine:
 
     def backward_delay(self, name: str, endpoint: str) -> float:
         """``D^b(name, endpoint)``; -inf when no path exists."""
+        metrics.count("sta.backward_to.query")
         table = self._backward_to.get(endpoint)
         if table is None:
+            metrics.count("sta.backward_to.compute")
             table = self._compute_backward_to(endpoint)
             self._backward_to[endpoint] = table
         return table.get(name, NEG_INF)

@@ -1,0 +1,334 @@
+"""Parallel experiment engine, memo-key, and checkpoint regressions.
+
+Covers the PR's tentpole (sequential-vs-parallel parity, canonical-cell
+planning, batched checkpoints) and the memo-key bugfix: the legacy
+``|``-joined key was not injective (a ``|`` in the method segment made
+``rsplit("|", 2)`` mis-split), so two distinct cells could collide in a
+resumed memo.
+"""
+
+import json
+import math
+import os
+import random
+
+import pytest
+
+from repro.circuits.generator import CloudSpec, generate_circuit
+from repro.errors import ReproError
+from repro.faults import corrupt_net
+from repro.flows import FlowOutcome
+from repro.harness import ExperimentSuite, plan_cells, run_suite_parallel
+from repro.harness.experiments import LEVELS, FailedOutcome, FlowRecord
+from repro.harness.parallel import methods_for_tables
+
+
+def _tiny_suite(library, memo_path=None, isolate=False, circuits=2):
+    names = ["alpha", "bravo", "charlie"][:circuits]
+    suite = ExperimentSuite(
+        circuits=names,
+        library=library,
+        error_rate_cycles=16,
+        isolate=isolate,
+        memo_path=memo_path,
+    )
+    for index, name in enumerate(names):
+        spec = CloudSpec(
+            name=name,
+            seed=40 + index,
+            n_inputs=4,
+            n_outputs=3,
+            n_flops=6,
+            n_gates=40,
+            depth=5,
+            critical_fraction=0.3,
+        )
+        suite._netlists[name] = generate_circuit(spec, library)
+    return suite
+
+
+class TestMemoKeyEncoding:
+    """Bugfix 3: memo keys must be injective and migration-safe."""
+
+    ADVERSARIAL = [
+        ("s1488", "base", 1.0),
+        ("we|ird", "base", 0.5),
+        ("a", "rvl|x", 1.0),  # legacy rsplit mis-split this one
+        ("a|b", "c|d", 2.0),
+        ("[json-looking", "grar", 1.0),
+    ]
+
+    @pytest.mark.parametrize("key", ADVERSARIAL)
+    def test_round_trip(self, key):
+        encoded = ExperimentSuite._memo_key(key)
+        assert ExperimentSuite._decode_memo_key(encoded) == key
+
+    def test_encoding_is_injective_over_adversarial_keys(self):
+        encoded = {ExperimentSuite._memo_key(k) for k in self.ADVERSARIAL}
+        assert len(encoded) == len(self.ADVERSARIAL)
+
+    def test_new_keys_are_json_arrays(self):
+        encoded = ExperimentSuite._memo_key(("s1488", "base", 1.0))
+        assert encoded.startswith("[")
+        assert json.loads(encoded) == ["s1488", "base", 1.0]
+
+    def test_legacy_pipe_format_still_decodes(self):
+        assert ExperimentSuite._decode_memo_key("s1488|base|1.0") == (
+            "s1488", "base", 1.0
+        )
+
+    def test_adversarial_cell_survives_checkpoint_resume(
+        self, library, tmp_path
+    ):
+        """Public-API pin: pre-fix, resume decoded this cell as
+        ``('a|rvl', 'x', 1.0)`` — a different (corrupt) key."""
+        memo = str(tmp_path / "memo.json")
+        key = ("a", "rvl|x", 1.0)
+        record = FlowRecord(
+            method="rvl|x", circuit_name="a", overhead=1.0,
+            n_slaves=5, n_masters=3, n_edl=2, latch_area=1.5,
+            comb_area=40.0, runtime_s=0.1,
+        )
+        suite = _tiny_suite(library, memo_path=memo)
+        suite._outcomes[key] = record
+        suite.checkpoint(force=True)
+        resumed = _tiny_suite(library, memo_path=memo)
+        assert key in resumed._outcomes
+        assert ("a|rvl", "x", 1.0) not in resumed._outcomes
+
+    def test_legacy_memo_file_migrates(self, library, tmp_path):
+        memo = str(tmp_path / "memo.json")
+        record = FlowRecord(
+            method="grar", circuit_name="alpha", overhead=1.0,
+            n_slaves=5, n_masters=3, n_edl=2, latch_area=1.5,
+            comb_area=40.0, runtime_s=0.1, solver_backend="simplex",
+        )
+        with open(memo, "w", encoding="utf-8") as stream:
+            json.dump(
+                {
+                    "runs": {"alpha|grar|1.0": record.__dict__},
+                    "error_rates": {"alpha|grar|1.0": 12.5},
+                },
+                stream,
+            )
+        suite = _tiny_suite(library, memo_path=memo)
+        resumed = suite._outcomes[("alpha", "grar", 1.0)]
+        assert isinstance(resumed, FlowRecord)
+        assert resumed.total_area == pytest.approx(record.total_area)
+        assert suite._error_rates[("alpha", "grar", 1.0)] == 12.5
+        # The next checkpoint rewrites the memo in the new encoding.
+        assert suite.checkpoint(force=True)
+        rewritten = json.loads(open(memo, encoding="utf-8").read())
+        assert all(k.startswith("[") for k in rewritten["runs"])
+        assert all(k.startswith("[") for k in rewritten["error_rates"])
+
+
+class TestCheckpointBatching:
+    def test_unforced_checkpoints_batch(self, library, tmp_path):
+        memo = str(tmp_path / "memo.json")
+        suite = _tiny_suite(library)
+        suite.memo_path = memo
+        suite.checkpoint_every = 3
+        assert not suite.checkpoint(force=False)
+        assert not suite.checkpoint(force=False)
+        assert not os.path.exists(memo)
+        assert suite.checkpoint(force=False)
+        assert os.path.exists(memo)
+
+    def test_force_always_writes(self, library, tmp_path):
+        memo = str(tmp_path / "memo.json")
+        suite = _tiny_suite(library)
+        suite.memo_path = memo
+        suite.checkpoint_every = 100
+        assert suite.checkpoint(force=True)
+        assert os.path.exists(memo)
+
+    def test_interval_flushes_a_stale_batch(self, library, tmp_path):
+        memo = str(tmp_path / "memo.json")
+        suite = _tiny_suite(library)
+        suite.memo_path = memo
+        suite.checkpoint_every = 100
+        suite.checkpoint_interval_s = 0.05
+        assert not suite.checkpoint(force=False)
+        suite._last_checkpoint -= 1.0
+        assert suite.checkpoint(force=False)
+
+    def test_no_memo_path_is_a_noop(self, library):
+        suite = _tiny_suite(library)
+        assert not suite.checkpoint(force=True)
+
+
+class TestMemoResume:
+    def test_round_trip_with_recost_failure_and_error_rate(
+        self, library, tmp_path
+    ):
+        memo = str(tmp_path / "memo.json")
+        first = _tiny_suite(library, memo_path=memo, isolate=True)
+        corrupt_net(first._netlists["bravo"], random.Random(0))
+
+        base_area = first.outcome("alpha", "base", 2.0).total_area
+        rate = first.error_rate("alpha", "base", 1.0)
+        failed = first.outcome("bravo", "grar", 1.0)
+        assert isinstance(failed, FailedOutcome)
+        first.checkpoint(force=True)
+
+        payload = json.loads(open(memo, encoding="utf-8").read())
+        keys = {
+            tuple(json.loads(k)[:2]) + (json.loads(k)[2],)
+            for k in payload["runs"]
+        }
+        # The re-costed C_INDEPENDENT cell persists under its own key...
+        assert ("alpha", "base", 2.0) in keys
+        # ...and the failed cell is NOT resumable as a success.
+        assert ("bravo", "grar", 1.0) not in keys
+        assert payload["failures"]
+
+        resumed = _tiny_suite(library, memo_path=memo, isolate=True)
+        record = resumed.outcome("alpha", "base", 2.0)
+        assert isinstance(record, FlowRecord)
+        assert record.overhead == 2.0
+        assert record.total_area == pytest.approx(base_area)
+        assert resumed.error_rate("alpha", "base", 1.0) == pytest.approx(
+            rate
+        )
+        # The failed cell re-runs on resume: this suite's bravo netlist
+        # is healthy, so the re-run comes back as a live outcome.
+        again = resumed.outcome("bravo", "grar", 1.0)
+        assert isinstance(again, FlowOutcome)
+
+
+class TestPlanCells:
+    def test_c_independent_cells_are_canonical_only(self, library):
+        suite = _tiny_suite(library)
+        tasks = plan_cells(
+            suite, methods=("base", "grar"), error_rates=False
+        )
+        base = [t for t in tasks if t.method == "base"]
+        grar = [t for t in tasks if t.method == "grar"]
+        assert {t.overhead for t in base} == {1.0}
+        assert {t.overhead for t in grar} == {c for _, c in LEVELS}
+        assert len({t.key for t in tasks}) == len(tasks)
+
+    def test_memoized_cells_are_skipped(self, library):
+        suite = _tiny_suite(library)
+        suite.outcome("alpha", "grar", 1.0)
+        tasks = plan_cells(suite, methods=("grar",), error_rates=False)
+        assert ("alpha", "grar", 1.0) not in {t.key for t in tasks}
+
+    def test_resumed_record_still_owes_its_error_rate(self, library):
+        suite = _tiny_suite(library)
+        outcome = suite.outcome("alpha", "base", 1.0)
+        suite._outcomes[("alpha", "base", 1.0)] = FlowRecord.from_outcome(
+            outcome
+        )
+        tasks = plan_cells(suite, methods=("base",), error_rates=True)
+        owed = [t for t in tasks if t.key == ("alpha", "base", 1.0)]
+        assert len(owed) == 1 and owed[0].error_rate
+
+    def test_methods_for_tables_selection(self):
+        methods, rates = methods_for_tables(None)
+        assert "grar" in methods and rates
+        methods, rates = methods_for_tables(["table ix"])
+        assert methods == ("rvl", "rvl-movable") and not rates
+        methods, rates = methods_for_tables(["table viii"])
+        assert set(methods) == {"base", "rvl", "grar"} and rates
+
+
+class TestParallelParity:
+    """Tentpole acceptance: parallel results == sequential results."""
+
+    #: Deterministic tables (areas, counts, error rates) — Table VII is
+    #: wall-clock and can never be bit-identical between two runs.
+    @staticmethod
+    def _render_tables(suite):
+        return {
+            "iv": suite.table4().render(),
+            "v": suite.table5().render(),
+            "vi": suite.table6().render(),
+            "viii": suite.table8().render(),
+        }
+
+    def test_parallel_tables_bit_identical_to_sequential(self, library):
+        sequential = _tiny_suite(library)
+        expected = self._render_tables(sequential)
+
+        parallel = _tiny_suite(library)
+        summary = run_suite_parallel(
+            parallel,
+            jobs=2,
+            methods=("base", "rvl", "grar"),
+            error_rates=True,
+        )
+        assert summary["n_cells"] > 0
+        assert summary["n_failed"] == 0
+        assert self._render_tables(parallel) == expected
+
+    def test_inline_path_matches_too(self, library):
+        sequential = _tiny_suite(library, circuits=1)
+        expected = sequential.table5().render()
+        inline = _tiny_suite(library, circuits=1)
+        run_suite_parallel(
+            inline, jobs=1, methods=("base", "rvl", "grar"),
+            error_rates=False,
+        )
+        assert inline.table5().render() == expected
+
+    def test_summary_shape(self, library):
+        suite = _tiny_suite(library, circuits=1)
+        summary = run_suite_parallel(
+            suite, jobs=2, methods=("base",), error_rates=False
+        )
+        assert summary["jobs"] == 2
+        assert summary["n_cells"] == 1
+        assert summary["wall_s"] > 0
+        assert summary["parallel_efficiency"] >= 0
+        cell = summary["cells"][0]
+        assert cell["circuit"] == "alpha" and cell["method"] == "base"
+        assert cell["solver_backend"]
+
+
+class TestParallelFailures:
+    def test_isolated_failure_becomes_failed_cell(self, library):
+        suite = _tiny_suite(library, isolate=True)
+        corrupt_net(suite._netlists["bravo"], random.Random(0))
+        run_suite_parallel(
+            suite, jobs=2, methods=("base", "grar"), error_rates=False
+        )
+        assert suite.failures
+        table = suite.table5()
+        assert "FAILED" in table.render()
+        rows = {row[0]: row for row in table.rows}
+        assert all(math.isnan(v) for v in rows["bravo"][1:])
+
+    def test_strict_failure_reraises_typed_error(self, library):
+        suite = _tiny_suite(library, isolate=False)
+        corrupt_net(suite._netlists["bravo"], random.Random(0))
+        with pytest.raises(ReproError):
+            run_suite_parallel(
+                suite, jobs=2, methods=("grar",), error_rates=False
+            )
+
+
+class TestCliParallel:
+    def test_jobs_and_bench_out(self, tmp_path, capsys):
+        from repro.cli import main
+
+        bench = str(tmp_path / "BENCH_suite.json")
+        code = main(
+            [
+                "tables", "s1488",
+                "--tables", "table ix",
+                "--jobs", "2",
+                "--cycles", "16",
+                "--bench-out", bench,
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table IX" in out
+        report = json.loads(open(bench, encoding="utf-8").read())
+        assert report["schema"] == "repro-bench/1"
+        assert report["jobs"] == 2
+        assert report["parallel"]["n_cells"] == 2
+        assert report["counters"]["flow.runs"] >= 2
+        assert "retime" in report["stages"]

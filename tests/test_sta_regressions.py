@@ -1,0 +1,186 @@
+"""Regression tests for the STA engine bug-fix sweep.
+
+Each test here pins a defect the pre-fix engine exhibited:
+
+* ``max()`` / dict-lookup crashes on malformed connectivity surfaced
+  as bare ``ValueError`` / ``KeyError`` instead of a typed
+  :class:`~repro.errors.TimingError` naming the gate;
+* the rise/fall forward DP silently propagated ``-inf`` arrivals for
+  gates unreachable under the transition edges;
+* ``_compute_backward_to`` re-materialized the reverse topological
+  order (and scanned the whole netlist) once per endpoint.
+"""
+
+import math
+
+import pytest
+
+from repro.errors import TimingError
+from repro.netlist.netlist import Gate, GateType, Netlist
+from repro.sta import TimingEngine
+from repro.sta.delay_models import PathBasedCalculator
+
+NEG_INF = float("-inf")
+
+
+def _unvalidated_gate(name, gtype, fanins=(), cell=None):
+    """A Gate bypassing __post_init__, as a hostile parser could make."""
+    gate = object.__new__(Gate)
+    object.__setattr__(gate, "name", name)
+    object.__setattr__(gate, "gtype", gtype)
+    object.__setattr__(gate, "fanins", tuple(fanins))
+    object.__setattr__(gate, "cell", cell)
+    return gate
+
+
+class TestForwardTypedErrors:
+    """Bugfix 1: bare ValueError/KeyError -> TimingError naming the gate."""
+
+    def test_endpoint_with_no_fanins_names_the_endpoint(self, library):
+        netlist = Netlist("degenerate")
+        netlist.add(Gate("a", GateType.INPUT))
+        netlist.add(_unvalidated_gate("po", GateType.OUTPUT, ()))
+        engine = TimingEngine(netlist, library)
+        # Pre-fix: ValueError("max() arg is an empty sequence").
+        with pytest.raises(TimingError, match="po"):
+            engine.endpoint_arrival("po")
+
+    def test_gate_reading_an_endpoint_names_both(self, library, tiny_netlist):
+        netlist = tiny_netlist.copy("bad-wiring")
+        cell = netlist["g1"].cell
+        # A comb gate reading the PO marker: no forward arrival exists
+        # for "y", so the forward DP used to die with a bare KeyError.
+        netlist.add(Gate("bad", GateType.COMB, ("y",), cell=cell))
+        engine = TimingEngine(netlist, library, model="gate")
+        with pytest.raises(TimingError, match="bad") as info:
+            engine.forward_arrival("bad")
+        assert "y" in str(info.value)
+        assert info.value.payload.get("gate") == "bad"
+
+    def test_rf_gate_reading_an_endpoint_is_typed_too(
+        self, library, tiny_netlist
+    ):
+        netlist = tiny_netlist.copy("bad-wiring-rf")
+        cell = netlist["g1"].cell
+        netlist.add(Gate("bad", GateType.COMB, ("y",), cell=cell))
+        engine = TimingEngine(netlist, library, model="path")
+        with pytest.raises(TimingError, match="bad"):
+            engine.forward_arrival("bad")
+
+    def test_valid_netlist_unaffected(self, library, tiny_netlist):
+        engine = TimingEngine(tiny_netlist, library)
+        arrival = engine.endpoint_arrival("y")
+        assert math.isfinite(arrival) and arrival > 0
+
+
+class _EdgelessCalculator(PathBasedCalculator):
+    """Path-based calculator whose edges into one sink all vanish."""
+
+    def __init__(self, netlist, library, starve_sink):
+        super().__init__(netlist, library)
+        self.starve_sink = starve_sink
+
+    def transition_edges(self, driver, sink):
+        if sink == self.starve_sink:
+            return []
+        return super().transition_edges(driver, sink)
+
+
+class TestRiseFallUnreachable:
+    """Bugfix 2: -inf arrivals must raise, not poison downstream max()."""
+
+    def test_unreachable_gate_raises_timing_error(
+        self, library, tiny_netlist
+    ):
+        calc = _EdgelessCalculator(tiny_netlist, library, starve_sink="g2")
+        engine = TimingEngine(tiny_netlist, library, calculator=calc)
+        with pytest.raises(TimingError, match="g2"):
+            engine.forward_arrival("g2")
+
+    def test_no_silent_neg_inf_in_forward_table(self, library, tiny_netlist):
+        calc = _EdgelessCalculator(tiny_netlist, library, starve_sink="g2")
+        engine = TimingEngine(tiny_netlist, library, calculator=calc)
+        # Pre-fix, the table materialized with g2 (and its fanout cone)
+        # at -inf and queries on *other* gates quietly succeeded.
+        with pytest.raises(TimingError):
+            engine.forward_arrival("g3")
+
+    def test_partial_state_reachability_still_works(
+        self, library, tiny_netlist
+    ):
+        engine = TimingEngine(tiny_netlist, library, model="path")
+        for gate in tiny_netlist.endpoints():
+            assert math.isfinite(engine.endpoint_arrival(gate.name))
+
+
+class TestBackwardTopoCache:
+    """Bugfix 4: reverse topo order cached, scan restricted to the cone."""
+
+    def test_topo_order_not_rebuilt_per_endpoint(self, library, tiny_netlist):
+        netlist = tiny_netlist.copy("topo-count")
+        engine = TimingEngine(netlist, library)
+        endpoints = [g.name for g in netlist.endpoints()]
+        assert len(endpoints) >= 2
+        # Warm every non-backward cache (slews, forward table, first
+        # backward table), then count topo_order() calls.
+        engine.forward_arrival("g1")
+        engine.backward_delay("g1", endpoints[0])
+        calls = 0
+        original = netlist.topo_order
+
+        def counting():
+            nonlocal calls
+            calls += 1
+            return original()
+
+        netlist.topo_order = counting
+        try:
+            for endpoint in endpoints[1:]:
+                engine.backward_delay("g1", endpoint)
+            engine.max_backward("g1")
+        finally:
+            netlist.topo_order = original
+        # Pre-fix: one list(reversed(topo_order())) per endpoint query.
+        assert calls == 0
+
+    def test_cache_invalidated_with_the_rest(self, library, tiny_netlist):
+        netlist = tiny_netlist.copy("topo-invalidate")
+        engine = TimingEngine(netlist, library)
+        endpoint = netlist.endpoints()[0].name
+        before = engine.backward_delay("g1", endpoint)
+        assert engine._reverse_topo_cache is not None
+        engine.invalidate()
+        assert engine._reverse_topo_cache is None
+        assert engine.backward_delay("g1", endpoint) == before
+
+    def test_cone_restricted_scan_matches_brute_force(
+        self, library, tiny_netlist
+    ):
+        engine = TimingEngine(tiny_netlist, library)
+        calc = engine.calculator
+
+        def brute(name, endpoint):
+            """Longest delay from `name`'s output to `endpoint`."""
+            if name == endpoint:
+                return 0.0
+            best = NEG_INF
+            for user in tiny_netlist.fanouts(name):
+                if user == endpoint:
+                    best = max(best, 0.0)
+                    continue
+                gate = tiny_netlist[user]
+                if gate.gtype in (GateType.OUTPUT, GateType.DFF):
+                    continue
+                downstream = brute(user, endpoint)
+                if downstream != NEG_INF:
+                    best = max(
+                        best, calc.edge_delay(name, user) + downstream
+                    )
+            return best
+
+        for endpoint in (g.name for g in tiny_netlist.endpoints()):
+            for gate in tiny_netlist:
+                if gate.gtype is GateType.OUTPUT:
+                    continue
+                got = engine.backward_delay(gate.name, endpoint)
+                assert got == pytest.approx(brute(gate.name, endpoint))

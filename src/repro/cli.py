@@ -24,6 +24,7 @@ code  meaning
 6     flow-stage / invariant error
       (:class:`~repro.errors.FlowStageError`)
 7     ``tables`` completed but isolated circuit failures occurred
+8     simulation error (:class:`~repro.errors.SimulationError`)
 ====  ==========================================================
 
 ``--json-errors`` prints the structured ``to_dict()`` form of the
@@ -45,6 +46,7 @@ from repro.errors import (
     FlowStageError,
     NetlistError,
     ReproError,
+    SimulationError,
     SolverError,
     TimingError,
 )
@@ -60,6 +62,7 @@ EXIT_TIMING = 4
 EXIT_SOLVER = 5
 EXIT_FLOW = 6
 EXIT_PARTIAL = 7
+EXIT_SIM = 8
 
 
 def _exit_code(error: ReproError) -> int:
@@ -67,6 +70,8 @@ def _exit_code(error: ReproError) -> int:
         return EXIT_NETLIST
     if isinstance(error, TimingError):
         return EXIT_TIMING
+    if isinstance(error, SimulationError):
+        return EXIT_SIM
     if isinstance(error, SolverError):
         return EXIT_SOLVER
     if isinstance(error, FlowStageError):
@@ -130,10 +135,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
             outcome.retiming.placement,
             outcome.edl_endpoints,
             cycles=args.cycles,
+            backend=args.sim_backend,
         )
         print(
             f"error rate: {report.error_rate:.2f}% over {report.cycles} "
-            f"cycles ({report.non_edl_violations} non-EDL violations)"
+            f"cycles ({report.non_edl_violations} non-EDL violations; "
+            f"{report.backend} backend, "
+            f"{report.cycles_per_sec:.0f} cycles/s)"
         )
     return 0
 
@@ -148,6 +156,7 @@ def _cmd_tables(args: argparse.Namespace) -> int:
     suite = ExperimentSuite(
         circuits=circuits,
         error_rate_cycles=args.cycles,
+        sim_backend=args.sim_backend,
         guard=args.guard,
         isolate=args.isolate,
         memo_path=args.memo,
@@ -204,6 +213,7 @@ def _cmd_tables(args: argparse.Namespace) -> int:
             circuits=list(circuits),
             tables=wanted or "all",
             jobs=jobs,
+            sim_backend=args.sim_backend,
             wall_s=round(time.perf_counter() - suite_started, 6),
             n_failures=len(suite.failures),
             parallel=parallel_summary,
@@ -276,6 +286,13 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--error-rate", action="store_true")
     run.add_argument("--cycles", type=int, default=192)
     run.add_argument(
+        "--sim-backend", default="compiled",
+        choices=["event", "compiled"],
+        help="Table VIII simulation backend: the compile-once kernel"
+             " (default) or the reference event-driven simulator;"
+             " both produce bit-identical reports",
+    )
+    run.add_argument(
         "--guard", default="off", choices=["off", "warn", "strict"],
         help="inter-stage invariant checkpoints",
     )
@@ -291,6 +308,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="filter, e.g. --tables 'table v' 'table viii'",
     )
     tables.add_argument("--cycles", type=int, default=128)
+    tables.add_argument(
+        "--sim-backend", default="compiled",
+        choices=["event", "compiled"],
+        help="Table VIII simulation backend (bit-identical reports;"
+             " 'compiled' is several times faster)",
+    )
     tables.add_argument(
         "--guard", default="off", choices=["off", "warn", "strict"],
         help="inter-stage invariant checkpoints",

@@ -17,6 +17,9 @@ The concrete classes mirror the subsystems:
   (NaN/negative delays, clocks too tight for a legal cut);
 * :class:`SolverError` — min-cost-flow / LP breakdowns (infeasible,
   unbounded, iteration budget, cycling, cross-check mismatch);
+* :class:`SimulationError` — the timed logic simulation left its
+  modeling envelope (e.g. a net's event count blew past the hard cap,
+  so the waveform could no longer be trusted);
 * :class:`FlowStageError` — a stage of the end-to-end flow failed;
   :class:`InvariantError` is its guard-checkpoint specialization.
 
@@ -127,6 +130,15 @@ class InfeasibleFlowError(SolverError):
 
 class SolverTimeoutError(SolverError):
     """A solver exceeded its iteration budget or wall-clock deadline."""
+
+
+class SimulationError(ReproError, RuntimeError):
+    """The timed logic simulation exceeded its modeling limits.
+
+    Raised instead of silently degrading the waveform model (the old
+    behaviour was to truncate event lists, which under-reported error
+    rates); ``payload`` carries the offending gate and event counts.
+    """
 
 
 class FlowStageError(ReproError, RuntimeError):

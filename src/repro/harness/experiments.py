@@ -138,6 +138,7 @@ class ExperimentSuite:
         library: Optional[Library] = None,
         error_rate_cycles: int = 192,
         sim_seed: int = 2017,
+        sim_backend: str = "compiled",
         guard: Optional[str] = None,
         isolate: bool = False,
         memo_path: Optional[str] = None,
@@ -149,6 +150,7 @@ class ExperimentSuite:
         self.library = library or default_library()
         self.error_rate_cycles = error_rate_cycles
         self.sim_seed = sim_seed
+        self.sim_backend = sim_backend
         self.guard = guard
         self.isolate = isolate
         self.memo_path = memo_path
@@ -294,6 +296,7 @@ class ExperimentSuite:
                         out.edl_endpoints,
                         cycles=self.error_rate_cycles,
                         seed=self.sim_seed,
+                        backend=self.sim_backend,
                     )
             except ReproError as exc:
                 if not self.isolate:

@@ -126,6 +126,7 @@ class CellTask:
     error_rate: bool
     cycles: int
     seed: int
+    sim_backend: str = "compiled"
 
     @property
     def key(self) -> Tuple[str, str, float]:
@@ -145,6 +146,10 @@ class CellResult:
     error_rate: Optional[float] = None
     wall_s: float = 0.0
     metrics: Optional[Dict[str, Any]] = None
+    #: which simulation backend produced the error rate (when one ran).
+    sim_backend: Optional[str] = None
+    #: simulation throughput of this cell's Table VIII run.
+    sim_cycles_per_sec: float = 0.0
 
     @property
     def key(self) -> Tuple[str, str, float]:
@@ -233,6 +238,7 @@ def plan_cells(
                         error_rate=need_rate,
                         cycles=suite.error_rate_cycles,
                         seed=suite.sim_seed,
+                        sim_backend=suite.sim_backend,
                     )
                 )
     return tasks
@@ -277,14 +283,18 @@ def run_cell(task: CellTask) -> CellResult:
                             outcome.edl_endpoints,
                             cycles=task.cycles,
                             seed=task.seed,
+                            backend=task.sim_backend,
                         )
                 except ReproError as exc:
                     exc.annotate(circuit=task.circuit)
                     result.error = exc.to_dict()
                     result.error_type = type(exc).__name__
                     result.error_rate = float("nan")
+                    result.sim_backend = task.sim_backend
                 else:
                     result.error_rate = report.error_rate
+                    result.sim_backend = report.backend
+                    result.sim_cycles_per_sec = report.cycles_per_sec
     result.wall_s = time.perf_counter() - started
     result.metrics = collector.to_dict()
     return result
@@ -393,8 +403,16 @@ def run_suite_parallel(
         raise _rebuild_error(first_failure)
 
     busy_s = sum(r.wall_s for r in results)
+    sim_rates = [
+        r.sim_cycles_per_sec for r in results if r.sim_cycles_per_sec > 0
+    ]
     summary: Dict[str, Any] = {
         "jobs": jobs,
+        "sim_backend": suite.sim_backend,
+        "sim_cells": len(sim_rates),
+        "sim_cycles_per_sec": round(
+            sum(sim_rates) / len(sim_rates), 2
+        ) if sim_rates else 0.0,
         "n_cells": len(results),
         "n_failed": sum(1 for r in results if r.failed),
         "wall_s": round(wall_s, 6),
@@ -412,6 +430,8 @@ def run_suite_parallel(
                 "solver_backend": (
                     (r.record or {}).get("solver_backend", "")
                 ),
+                "sim_backend": r.sim_backend,
+                "sim_cycles_per_sec": round(r.sim_cycles_per_sec, 2),
             }
             for r in results
         ],

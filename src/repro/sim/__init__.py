@@ -9,12 +9,24 @@ uses); :func:`estimate_error_rate` drives it cycle by cycle over a
 slave-latch placement and counts window violations.
 """
 
-from repro.sim.logicsim import TimedSimulator, Waveform
+from repro.sim.logicsim import (
+    MAX_EVENTS_PER_NET,
+    TimedSimulator,
+    Waveform,
+)
+from repro.sim.kernel import CompiledSimulator
 from repro.sim.vectors import VectorSource, random_vectors
-from repro.sim.errorrate import ErrorRateReport, estimate_error_rate
+from repro.sim.errorrate import (
+    SIM_BACKENDS,
+    ErrorRateReport,
+    estimate_error_rate,
+)
 from repro.sim.vcd import vcd_text, write_vcd
 
 __all__ = [
+    "MAX_EVENTS_PER_NET",
+    "SIM_BACKENDS",
+    "CompiledSimulator",
     "TimedSimulator",
     "Waveform",
     "VectorSource",

@@ -6,19 +6,33 @@ error-detecting master transitions inside the timing-resiliency window
 ``(Pi, Pi + phi1]``.  Non-error-detecting masters must never toggle in
 the window — the flows' constraints guarantee it, and the estimator
 verifies it (``non_edl_violations``).
+
+Two interchangeable backends evaluate the cycles:
+
+* ``"event"`` — the reference :class:`~repro.sim.logicsim.TimedSimulator`,
+  re-deriving delays and waveform lookups per cycle;
+* ``"compiled"`` (default) — :class:`~repro.sim.kernel.CompiledSimulator`,
+  which compiles the cycle-invariant work once and is bit-identical to
+  the event backend (the parity test in
+  ``tests/test_sim_regressions.py`` is the acceptance gate).
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, Set
 
+from repro import metrics
 from repro.cells.edl import window_has_transition
 from repro.latches.placement import SlavePlacement
 from repro.latches.resilient import TwoPhaseCircuit
 from repro.netlist.netlist import GateType
-from repro.sim.logicsim import TimedSimulator
+from repro.sim.logicsim import MAX_EVENTS_PER_NET, TimedSimulator
 from repro.sim.vectors import VectorSource
+
+#: Valid values of the ``backend`` switch.
+SIM_BACKENDS = ("event", "compiled")
 
 
 @dataclass
@@ -32,6 +46,16 @@ class ErrorRateReport:
     #: window transitions observed at masters *not* marked EDL —
     #: should be zero for a correct design.
     non_edl_violations: int = 0
+    #: flop state after the last cycle (settled capture values).
+    final_flop_state: Dict[str, int] = field(default_factory=dict)
+    #: latch/source state after the last cycle (``src:`` and
+    #: ``latch:`` keys, as the simulator maintains them).
+    final_latch_state: Dict[str, int] = field(default_factory=dict)
+    #: which backend produced the report (not part of equality: both
+    #: backends must produce comparison-identical reports).
+    backend: str = field(default="event", compare=False)
+    #: simulation throughput, for bench artifacts (not compared).
+    cycles_per_sec: float = field(default=0.0, compare=False)
 
     @property
     def error_rate(self) -> float:
@@ -48,49 +72,90 @@ def estimate_error_rate(
     cycles: int = 256,
     seed: int = 2017,
     toggle_probability: float = 0.5,
+    backend: str = "compiled",
+    max_events_per_net: int = MAX_EVENTS_PER_NET,
 ) -> ErrorRateReport:
     """Random-input error-rate simulation of a retimed design."""
-    simulator = TimedSimulator(circuit)
+    if backend not in SIM_BACKENDS:
+        raise ValueError(
+            f"unknown simulation backend {backend!r}; "
+            f"expected one of {SIM_BACKENDS}"
+        )
     netlist = circuit.netlist
     scheme = circuit.scheme
     window_open = scheme.window_open
     window_close = scheme.window_close
 
+    if backend == "compiled":
+        from repro.sim.kernel import CompiledSimulator
+
+        kernel = CompiledSimulator(
+            circuit, placement, max_events_per_net=max_events_per_net
+        )
+
+        def run_cycle(launch, state):
+            return kernel.run_cycle(launch, state)
+
+    else:
+        simulator = TimedSimulator(
+            circuit, max_events_per_net=max_events_per_net
+        )
+
+        def run_cycle(launch, state):
+            return simulator.run_cycle(launch, placement, state)
+
     pi_names = [g.name for g in netlist.inputs()]
     source = VectorSource(pi_names, seed=seed, toggle_probability=toggle_probability)
 
-    report = ErrorRateReport(cycles=cycles, error_cycles=0)
-    latch_state: Dict[str, int] = {}
-    flop_values: Dict[str, int] = {g.name: 0 for g in netlist.flops()}
+    # (endpoint name, waveform key) pairs, hoisted out of the loop.
+    endpoint_keys = [
+        (
+            g.name,
+            f"{g.name}::d" if g.gtype is GateType.DFF else g.name,
+        )
+        for g in netlist.endpoints()
+    ]
+    flop_keys = [(g.name, f"{g.name}::d") for g in netlist.flops()]
 
+    report = ErrorRateReport(cycles=cycles, error_cycles=0, backend=backend)
+    latch_state: Dict[str, int] = {}
+    flop_values: Dict[str, int] = {name: 0 for name, _ in flop_keys}
+
+    started = time.perf_counter()
     for _ in range(cycles):
         launch = dict(flop_values)
         launch.update(source.next_vector())
-        waves = simulator.run_cycle(launch, placement, latch_state)
+        waves = run_cycle(launch, latch_state)
 
         cycle_error = False
-        for gate in netlist.endpoints():
-            if gate.gtype is GateType.DFF:
-                wave = waves[f"{gate.name}::d"]
-            else:
-                wave = waves[gate.name]
+        for name, wave_key in endpoint_keys:
+            wave = waves[wave_key]
             times = wave.transition_times()
             if not window_has_transition(times, window_open, window_close):
                 continue
-            if gate.name in edl_endpoints:
+            if name in edl_endpoints:
                 cycle_error = True
-                report.per_endpoint[gate.name] = (
-                    report.per_endpoint.get(gate.name, 0) + 1
+                report.per_endpoint[name] = (
+                    report.per_endpoint.get(name, 0) + 1
                 )
             else:
                 report.non_edl_violations += 1
         if cycle_error:
             report.error_cycles += 1
 
-        # Masters capture at the window close (errors stall the next
-        # stage in silicon; for rate estimation the captured value is
-        # the settled one either way).
-        for gate in netlist.flops():
-            wave = waves[f"{gate.name}::d"]
-            flop_values[gate.name] = wave.value_at(window_close)
+        # Masters capture the *settled* value: an error stalls the
+        # next stage in silicon until the time-borrowed transition has
+        # landed, so the state carried into the next cycle is the
+        # waveform's final value — not a sample at the window close,
+        # which would lose any transition borrowed past it.
+        for name, wave_key in flop_keys:
+            flop_values[name] = waves[wave_key].final
+    wall_s = time.perf_counter() - started
+    report.final_flop_state = dict(flop_values)
+    report.final_latch_state = dict(latch_state)
+    if wall_s > 0.0:
+        report.cycles_per_sec = cycles / wall_s
+    metrics.count(f"sim.backend.{backend}")
+    metrics.count("sim.cycles", cycles)
+    metrics.count("sim.wall_s", wall_s)
     return report

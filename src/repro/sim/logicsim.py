@@ -19,8 +19,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Sequence, Tuple
 
+from repro import metrics
 from repro.cells.cell import CombCell
-from repro.errors import NetlistError
+from repro.errors import NetlistError, SimulationError
 from repro.latches.placement import HOST, SlavePlacement
 from repro.latches.resilient import TwoPhaseCircuit
 from repro.netlist.netlist import Gate, GateType
@@ -98,13 +99,41 @@ def _append_preempt(
     events.append((when, value))
 
 
+#: Hard per-net event cap: a waveform with more candidate events than
+#: this is outside the transport-delay model's envelope (a real design
+#: would have filtered such glitch trains), and truncating it would
+#: silently drop the *latest* events — exactly the ones that land in
+#: the resiliency window.  The simulation raises instead.
+MAX_EVENTS_PER_NET = 4096
+
+
+def check_event_cap(gate_name: str, n_events: int, cap: int) -> None:
+    """Raise :class:`SimulationError` when a net's event count blows
+    the hard cap; the overflow is counted in :mod:`repro.metrics` so
+    bench artifacts surface how close a sweep came to the envelope."""
+    if n_events <= cap:
+        return
+    metrics.count("sim.event_overflow.gates")
+    metrics.count("sim.event_overflow.dropped_events", n_events - cap)
+    raise SimulationError(
+        f"gate {gate_name!r}: {n_events} candidate events exceed the "
+        f"per-net cap of {cap}; refusing to truncate (dropped events "
+        f"would hide resiliency-window transitions)",
+        payload={
+            "gate": gate_name,
+            "n_events": n_events,
+            "max_events_per_net": cap,
+        },
+    )
+
+
 class TimedSimulator:
     """One-cycle waveform evaluation over the combinational cloud."""
 
     def __init__(
         self,
         circuit: TwoPhaseCircuit,
-        max_events_per_net: int = 64,
+        max_events_per_net: int = MAX_EVENTS_PER_NET,
     ) -> None:
         if circuit.library is None:
             raise ValueError("simulation needs a library")
@@ -137,8 +166,9 @@ class TimedSimulator:
         for wave in inputs:
             candidate_times.extend(wave.transition_times())
         candidate_times = sorted(set(candidate_times))
-        if len(candidate_times) > self.max_events_per_net:
-            candidate_times = candidate_times[: self.max_events_per_net]
+        check_event_cap(
+            gate.name, len(candidate_times), self.max_events_per_net
+        )
 
         initial = cell.evaluate([w.initial for w in inputs])
         out = Waveform(initial=initial)
@@ -242,7 +272,12 @@ class TimedSimulator:
 
         results: Dict[str, Waveform] = dict(waves)
         for gate in netlist.endpoints():
-            driver = gate.fanins[0] if gate.fanins else None
+            if not gate.fanins:
+                raise NetlistError(
+                    [f"endpoint {gate.name!r} has no fanins; cannot "
+                     f"simulate its data input"]
+                )
+            driver = gate.fanins[0]
             if gate.gtype is GateType.DFF:
                 results[f"{gate.name}::d"] = edge_wave(driver, gate.name)
             else:

@@ -17,7 +17,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from repro.cells.cell import CombCell
-from repro.errors import NetlistError
+from repro.errors import NetlistError, TimingError
 from repro.cells.library import Library
 from repro.netlist.netlist import GateType, Netlist
 from repro.sta.loads import LoadModel
@@ -82,6 +82,20 @@ class MinDelayAnalysis:
             elif gate.gtype is GateType.OUTPUT:
                 continue
             else:
+                if not gate.fanins:
+                    raise TimingError(
+                        f"gate {name!r} has no fanins to propagate "
+                        f"min arrivals from",
+                        payload={"gate": name},
+                    )
+                for driver in gate.fanins:
+                    if driver not in arrivals:
+                        raise TimingError(
+                            f"gate {name!r} reads {driver!r}, which has "
+                            f"no min arrival (endpoint or outside the "
+                            f"combinational cloud)",
+                            payload={"gate": name, "fanin": driver},
+                        )
                 arrivals[name] = min(
                     arrivals[d] + self.min_edge_delay(d, name)
                     for d in gate.fanins
@@ -99,6 +113,12 @@ class MinDelayAnalysis:
         gate = self.netlist[endpoint]
         if gate.gtype not in (GateType.OUTPUT, GateType.DFF):
             raise ValueError(f"{endpoint!r} is not an endpoint")
+        if not gate.fanins:
+            raise TimingError(
+                f"endpoint {endpoint!r} has no fanins; min arrival is "
+                f"undefined",
+                payload={"gate": endpoint},
+            )
         return min(self.min_arrival(d) for d in gate.fanins)
 
     def trace_min_path(self, endpoint: str) -> List[str]:

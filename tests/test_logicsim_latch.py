@@ -3,6 +3,7 @@
 import pytest
 
 from repro.circuits.fig4 import fig4_circuit
+from repro.errors import SimulationError
 from repro.sim.logicsim import TimedSimulator, Waveform
 
 
@@ -67,7 +68,7 @@ class TestFig4Simulation:
         with pytest.raises(ValueError, match="library"):
             TimedSimulator(circuit)
 
-    def test_event_cap_respected(self, sim):
+    def test_event_cap_raises_instead_of_truncating(self, sim):
         simulator, circuit = sim
         simulator.max_events_per_net = 4
         # A pathological waveform with many input changes.
@@ -79,8 +80,11 @@ class TestFig4Simulation:
             )
             for _ in gate.fanins
         ]
-        out = simulator._evaluate_gate(gate, waves)
-        assert len(out.events) <= 8  # capped candidates, pruned output
+        # Truncating would silently drop the *latest* events — exactly
+        # the ones that land in the resiliency window — so the
+        # simulator refuses (see tests/test_sim_regressions.py).
+        with pytest.raises(SimulationError, match=gate.name):
+            simulator._evaluate_gate(gate, waves)
 
 
 class TestPreemption:

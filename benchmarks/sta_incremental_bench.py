@@ -1,0 +1,156 @@
+"""Benchmark incremental STA against the full-recompute parity oracle.
+
+Runs the same flow twice per circuit — ``sta_mode="incremental"``
+(event-driven cone-scoped timing repair) and ``sta_mode="full"``
+(whole-engine invalidation on every netlist change) — verifies the
+outcomes are identical (slave/EDL counts, areas, EDL sets and
+per-endpoint arrivals), and writes a ``repro-bench/1`` artifact with
+the per-stage wall-clock and the incremental counters:
+
+    python benchmarks/sta_incremental_bench.py
+    python benchmarks/sta_incremental_bench.py --circuits s35932 s38417 \
+        --method grar --out benchmarks/results/BENCH_sta_incremental.json
+
+The committed artifact ``benchmarks/results/BENCH_sta_incremental.json``
+is the PR's acceptance evidence for the >= 2x sizing-stage floor on the
+largest suite circuits.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import Any, Dict, List
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import metrics  # noqa: E402
+from repro.cells import default_library  # noqa: E402
+from repro.circuits import build_benchmark  # noqa: E402
+from repro.flows import run_flow  # noqa: E402
+
+#: The two largest Table I circuits the flows exercise hardest.
+DEFAULT_CIRCUITS = ["s35932", "s38417"]
+DEFAULT_METHOD = "grar"
+
+#: Counters that explain where the time went.
+COUNTER_KEYS = (
+    "sta.incremental.events",
+    "sta.incremental.nodes_recomputed",
+    "sta.full_recompute",
+    "sta.invalidate",
+)
+
+
+def _fingerprint(outcome) -> Dict[str, Any]:
+    """Everything two modes must agree on, exactly."""
+    arrivals = outcome.circuit.endpoint_arrivals(
+        outcome.retiming.placement
+    )
+    return {
+        "n_slaves": outcome.n_slaves,
+        "n_edl": outcome.n_edl,
+        "sequential_area": outcome.sequential_area,
+        "comb_area": outcome.comb_area,
+        "edl_endpoints": tuple(sorted(outcome.edl_endpoints)),
+        "endpoint_arrivals": tuple(sorted(arrivals.items())),
+    }
+
+
+def bench_cell(
+    circuit_name: str, method: str, overhead: float
+) -> Dict[str, Any]:
+    """Time one circuit under both STA modes and check outcome parity."""
+    library = default_library()
+    netlist = build_benchmark(circuit_name, library)
+    row: Dict[str, Any] = {
+        "circuit": circuit_name,
+        "method": method,
+        "overhead": overhead,
+    }
+    fingerprints: Dict[str, Dict[str, Any]] = {}
+    for mode in ("incremental", "full"):
+        collector = metrics.MetricsCollector()
+        started = time.perf_counter()
+        with metrics.collect_into(collector):
+            outcome = run_flow(
+                method, netlist, library, overhead, sta_mode=mode
+            )
+            fingerprints[mode] = _fingerprint(outcome)
+        wall = time.perf_counter() - started
+        sizing = collector.stages.get("sizing")
+        row[f"{mode}_wall_s"] = round(wall, 3)
+        row[f"{mode}_sizing_s"] = round(
+            sizing.wall_s if sizing else 0.0, 3
+        )
+        row[f"{mode}_counters"] = {
+            key: collector.counters[key]
+            for key in COUNTER_KEYS
+            if key in collector.counters
+        }
+    if fingerprints["incremental"] != fingerprints["full"]:
+        raise AssertionError(
+            f"{circuit_name}/{method}: STA modes disagree — the "
+            f"incremental engine is NOT bit-identical; do not trust "
+            f"its speed-up"
+        )
+    row["identical_outcomes"] = True
+    row["sizing_speedup"] = round(
+        row["full_sizing_s"] / max(row["incremental_sizing_s"], 1e-9), 3
+    )
+    row["total_speedup"] = round(
+        row["full_wall_s"] / max(row["incremental_wall_s"], 1e-9), 3
+    )
+    return row
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--circuits", nargs="*", default=DEFAULT_CIRCUITS)
+    parser.add_argument("--method", default=DEFAULT_METHOD)
+    parser.add_argument("--overhead", type=float, default=1.0)
+    parser.add_argument("--min-speedup", type=float, default=2.0)
+    parser.add_argument(
+        "--out",
+        default=str(
+            Path(__file__).resolve().parent
+            / "results"
+            / "BENCH_sta_incremental.json"
+        ),
+    )
+    args = parser.parse_args(argv)
+
+    collector = metrics.MetricsCollector()
+    cells = []
+    with metrics.collect_into(collector):
+        for circuit_name in args.circuits:
+            cell = bench_cell(circuit_name, args.method, args.overhead)
+            cells.append(cell)
+            print(
+                f"{cell['circuit']:>7s}/{cell['method']:<5s} sizing: "
+                f"full {cell['full_sizing_s']:8.2f}s   incremental "
+                f"{cell['incremental_sizing_s']:8.2f}s   "
+                f"x{cell['sizing_speedup']:.2f}"
+            )
+    speedups = [cell["sizing_speedup"] for cell in cells]
+    report = metrics.bench_report(
+        collector,
+        kind="sta-incremental",
+        method=args.method,
+        overhead=args.overhead,
+        cells=cells,
+        min_sizing_speedup=min(speedups),
+        mean_sizing_speedup=round(sum(speedups) / len(speedups), 3),
+    )
+    metrics.write_bench(args.out, report)
+    print(
+        f"\nmin sizing-stage speedup x{min(speedups):.2f}; "
+        f"artifact: {args.out}"
+    )
+    return 0 if min(speedups) >= args.min_speedup else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -111,7 +111,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         raise ValueError("--overhead must be non-negative")
     library = default_library()
     netlist = build_benchmark(args.circuit, library)
-    scheme, _ = prepare_circuit(netlist, library)
+    scheme, _ = prepare_circuit(netlist, library, sta_mode=args.sta_mode)
     print(f"{args.circuit}: {netlist.stats()}")
     print(
         f"clock: P={scheme.max_path_delay:.4f} Pi={scheme.period:.4f} "
@@ -119,7 +119,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     )
     outcome = run_flow(
         args.method, netlist, library, args.overhead, scheme=scheme,
-        guard=args.guard,
+        guard=args.guard, sta_mode=args.sta_mode,
     )
     print(outcome.summary())
     if args.guard and args.guard != "off":
@@ -157,6 +157,7 @@ def _cmd_tables(args: argparse.Namespace) -> int:
         circuits=circuits,
         error_rate_cycles=args.cycles,
         sim_backend=args.sim_backend,
+        sta_mode=args.sta_mode,
         guard=args.guard,
         isolate=args.isolate,
         memo_path=args.memo,
@@ -293,6 +294,13 @@ def build_parser() -> argparse.ArgumentParser:
              " both produce bit-identical reports",
     )
     run.add_argument(
+        "--sta-mode", default="incremental",
+        choices=["incremental", "full"],
+        help="timing-update policy: event-driven cone-scoped repair"
+             " (default) or whole-engine invalidation on every netlist"
+             " change; results are bit-identical",
+    )
+    run.add_argument(
         "--guard", default="off", choices=["off", "warn", "strict"],
         help="inter-stage invariant checkpoints",
     )
@@ -313,6 +321,12 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["event", "compiled"],
         help="Table VIII simulation backend (bit-identical reports;"
              " 'compiled' is several times faster)",
+    )
+    tables.add_argument(
+        "--sta-mode", default="incremental",
+        choices=["incremental", "full"],
+        help="timing-update policy (bit-identical results;"
+             " 'incremental' repairs only the changed cones)",
     )
     tables.add_argument(
         "--guard", default="off", choices=["off", "warn", "strict"],

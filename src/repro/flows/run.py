@@ -111,6 +111,7 @@ def prepare_circuit(
     model: str = "path",
     clock_margin: float = 1.05,
     scheme: Optional[ClockScheme] = None,
+    sta_mode: str = "incremental",
 ) -> Tuple[ClockScheme, TwoPhaseCircuit]:
     """Derive the clock from the flop design and build the two-phase view.
 
@@ -120,12 +121,17 @@ def prepare_circuit(
     latch delays).
     """
     if scheme is None:
-        engine = TimingEngine(netlist, library, model=model)
+        engine = TimingEngine(
+            netlist, library, model=model,
+            incremental=(sta_mode == "incremental"),
+        )
         worst = engine.worst_arrival()
         if worst <= 0:
             raise ValueError(f"netlist {netlist.name!r} has no timing paths")
         scheme = scheme_from_period(worst * clock_margin)
-    circuit = TwoPhaseCircuit(netlist, scheme, library, model=model)
+    circuit = TwoPhaseCircuit(
+        netlist, scheme, library, model=model, sta_mode=sta_mode
+    )
     return scheme, circuit
 
 
@@ -141,8 +147,14 @@ def run_flow(
     rescue_budget_scale: float = 1.0,
     solver_policy=None,
     guard: Union[Guard, GuardPolicy, str, None] = None,
+    sta_mode: str = "incremental",
 ) -> FlowOutcome:
     """Run one method end to end on a private copy of ``netlist``.
+
+    ``sta_mode`` selects between event-driven cone-scoped timing
+    updates (``"incremental"``, the default) and whole-engine
+    invalidation on every netlist change (``"full"``, the parity
+    oracle) — results are bit-identical, only the cost differs.
 
     ``rescue_budget_scale`` scales the G-RAR EDL-avoidance budget: 0
     disables the combinational speed-ups entirely, values above 1 buy
@@ -176,7 +188,8 @@ def run_flow(
 
             if scheme is None:
                 scheme, _ = prepare_circuit(
-                    working, library, model=delay_model
+                    working, library, model=delay_model,
+                    sta_mode=sta_mode,
                 )
             ff_result = ff_retime_min_area(
                 working, library,
@@ -184,7 +197,8 @@ def run_flow(
             )
             working = ff_result.netlist
         scheme, circuit = prepare_circuit(
-            working, library, model=delay_model, scheme=scheme
+            working, library, model=delay_model, scheme=scheme,
+            sta_mode=sta_mode,
         )
         sentinel.netlist_valid(working, library, "prepare")
         sentinel.timing_sane(circuit, "prepare")
@@ -293,7 +307,8 @@ def run_flow(
     # Table II judges both variants with the tool's own engine.
     if delay_model != "path":
         _, circuit = prepare_circuit(
-            working, library, model="path", scheme=scheme
+            working, library, model="path", scheme=scheme,
+            sta_mode=sta_mode,
         )
 
     placement = retiming.placement
@@ -415,14 +430,12 @@ def _apply_master_cells(circuit: TwoPhaseCircuit, edl_flops: Set[str]) -> None:
     """Instantiate the right master cell per flop: error-detecting
     masters present the Fig. 2 sampler load on their D pins."""
     netlist = circuit.netlist
-    changed = False
     for gate in netlist.flops():
         want = "DFF_ED_X1" if gate.name in edl_flops else "DFF_X1"
         if gate.cell != want:
+            # replace_cell emits a change event; the engine repairs the
+            # flop's load cone (or fully invalidates in "full" mode).
             netlist.replace_cell(gate.name, want)
-            changed = True
-    if changed:
-        circuit.invalidate_timing()
 
 
 def _recovery_limits(
@@ -514,10 +527,11 @@ def run_methods(
     overhead: float,
     scheme: Optional[ClockScheme] = None,
     sizing: bool = True,
+    sta_mode: str = "incremental",
 ) -> Dict[str, FlowOutcome]:
     """Run several methods under one shared clock scheme."""
     if scheme is None:
-        scheme, _ = prepare_circuit(netlist, library)
+        scheme, _ = prepare_circuit(netlist, library, sta_mode=sta_mode)
     return {
         method: run_flow(
             method,
@@ -526,6 +540,7 @@ def run_methods(
             overhead,
             scheme=scheme,
             sizing=sizing,
+            sta_mode=sta_mode,
         )
         for method in methods
     }

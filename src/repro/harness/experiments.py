@@ -139,6 +139,7 @@ class ExperimentSuite:
         error_rate_cycles: int = 192,
         sim_seed: int = 2017,
         sim_backend: str = "compiled",
+        sta_mode: str = "incremental",
         guard: Optional[str] = None,
         isolate: bool = False,
         memo_path: Optional[str] = None,
@@ -151,6 +152,7 @@ class ExperimentSuite:
         self.error_rate_cycles = error_rate_cycles
         self.sim_seed = sim_seed
         self.sim_backend = sim_backend
+        self.sta_mode = sta_mode
         self.guard = guard
         self.isolate = isolate
         self.memo_path = memo_path
@@ -237,6 +239,7 @@ class ExperimentSuite:
                 scheme=scheme,
                 guard=self.guard,
                 solver_policy=self.solver_policy,
+                sta_mode=self.sta_mode,
             )
         except ReproError as exc:
             if not self.isolate:

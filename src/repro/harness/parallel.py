@@ -127,6 +127,7 @@ class CellTask:
     cycles: int
     seed: int
     sim_backend: str = "compiled"
+    sta_mode: str = "incremental"
 
     @property
     def key(self) -> Tuple[str, str, float]:
@@ -239,6 +240,7 @@ def plan_cells(
                         cycles=suite.error_rate_cycles,
                         seed=suite.sim_seed,
                         sim_backend=suite.sim_backend,
+                        sta_mode=suite.sta_mode,
                     )
                 )
     return tasks
@@ -267,6 +269,7 @@ def run_cell(task: CellTask) -> CellResult:
                 scheme=task.scheme,
                 guard=task.guard,
                 solver_policy=task.solver_policy,
+                sta_mode=task.sta_mode,
             )
         except ReproError as exc:
             exc.annotate(circuit=task.circuit)

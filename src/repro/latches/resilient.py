@@ -117,12 +117,23 @@ class TwoPhaseCircuit:
         calculator: Optional[DelayCalculator] = None,
         latch: Optional[LatchCell] = None,
         zero_latch_delays: bool = False,
+        sta_mode: str = "incremental",
     ) -> None:
+        if sta_mode not in ("incremental", "full"):
+            raise ValueError(
+                f"unknown sta_mode {sta_mode!r} (use 'incremental' or "
+                f"'full')"
+            )
         self.netlist = netlist
         self.scheme = scheme
         self.library = library
+        self.sta_mode = sta_mode
         self.engine = TimingEngine(
-            netlist, library, model=model, calculator=calculator
+            netlist,
+            library,
+            model=model,
+            calculator=calculator,
+            incremental=(sta_mode == "incremental"),
         )
         if latch is None and library is not None:
             latch = library.default_latch()

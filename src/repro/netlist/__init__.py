@@ -1,6 +1,16 @@
 """Gate-level netlist model and ISCAS89 ``.bench`` I/O."""
 
-from repro.netlist.netlist import Gate, GateType, Netlist
+from repro.netlist.netlist import (
+    CellSwapped,
+    ChangeLog,
+    FaninRewired,
+    Gate,
+    GateAdded,
+    GateRemoved,
+    GateType,
+    Netlist,
+    NetlistEvent,
+)
 from repro.netlist.builder import NetlistBuilder
 from repro.netlist.bench import parse_bench, write_bench
 from repro.netlist.verilog import parse_verilog, write_verilog, verilog_text
@@ -10,6 +20,12 @@ __all__ = [
     "Gate",
     "GateType",
     "Netlist",
+    "NetlistEvent",
+    "CellSwapped",
+    "FaninRewired",
+    "GateAdded",
+    "GateRemoved",
+    "ChangeLog",
     "NetlistBuilder",
     "parse_bench",
     "write_bench",

@@ -16,10 +16,19 @@ drives the combinational cloud and every DFF-D/PO terminates it.
 
 from __future__ import annotations
 
-import copy
+import weakref
 from dataclasses import dataclass, replace
 from enum import Enum
-from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+from typing import (
+    ClassVar,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Set,
+    Tuple,
+)
 
 from repro.cells.library import Library
 
@@ -74,6 +83,123 @@ class Gate:
         return replace(self, cell=cell)
 
 
+# -- change events ----------------------------------------------------------
+#
+# Every mutator emits one typed event *after* the netlist reflects the
+# change.  Subscribers (the timing engine, the delay calculators, the
+# min-delay analysis) translate events into scoped cache repair instead
+# of whole-engine invalidation; anything the new netlist state cannot
+# answer anymore (the old cell, a removed gate's drivers) rides in the
+# event itself.
+
+
+@dataclass(frozen=True)
+class NetlistEvent:
+    """Base class of the typed netlist change events."""
+
+    #: True when the event changes connectivity (and hence the
+    #: topological order); cell swaps keep the structure intact.
+    structural: ClassVar[bool] = True
+
+    def dirty_gates(self, netlist: "Netlist") -> Set[str]:
+        """Surviving gates whose electrical context the event changed.
+
+        "Electrical context" means anything the STA caches derive from:
+        the gate's cell, its fanin pin mapping, the load it drives, or
+        its output slew.  Resolved against the *post-mutation* netlist,
+        so subscribers must call this at delivery time.
+        """
+        raise NotImplementedError
+
+    def removed_gates(self) -> Tuple[str, ...]:
+        """Gates the event deleted (empty for non-removal events)."""
+        return ()
+
+
+@dataclass(frozen=True)
+class CellSwapped(NetlistEvent):
+    """A gate changed library cell (sizing / Vt swap / master typing)."""
+
+    gate: str
+    old_cell: Optional[str]
+    new_cell: Optional[str]
+
+    structural: ClassVar[bool] = False
+
+    def dirty_gates(self, netlist: "Netlist") -> Set[str]:
+        # The swapped gate's arcs, load-dependent slew, and every
+        # driver whose load includes its (changed) input pin caps.
+        return {self.gate, *netlist[self.gate].fanins}
+
+
+@dataclass(frozen=True)
+class FaninRewired(NetlistEvent):
+    """A sink's fanin moved from one driver to another (buffering)."""
+
+    sink: str
+    old_driver: str
+    new_driver: str
+
+    def dirty_gates(self, netlist: "Netlist") -> Set[str]:
+        # Both drivers gained/lost a connection (load change); the sink
+        # itself has a new pin mapping.
+        return {self.sink, self.old_driver, self.new_driver}
+
+
+@dataclass(frozen=True)
+class GateAdded(NetlistEvent):
+    """A new gate was inserted (e.g. a hold buffer)."""
+
+    gate: str
+
+    def dirty_gates(self, netlist: "Netlist") -> Set[str]:
+        # The new gate needs fresh caches; its drivers see extra load.
+        return {self.gate, *netlist[self.gate].fanins}
+
+
+@dataclass(frozen=True)
+class GateRemoved(NetlistEvent):
+    """One or more fanout-free gates were deleted."""
+
+    gates: Tuple[str, ...]
+    #: Surviving drivers of the removed gates — their loads shrank.
+    #: Recorded here because the removed gates are gone from the
+    #: netlist by the time subscribers see the event.
+    fanins: Tuple[str, ...]
+
+    def dirty_gates(self, netlist: "Netlist") -> Set[str]:
+        return {name for name in self.fanins if name in netlist}
+
+    def removed_gates(self) -> Tuple[str, ...]:
+        return self.gates
+
+
+class ChangeLog:
+    """A subscriber that simply records every event, in order.
+
+    Useful for tests, debugging, and replay tooling::
+
+        log = ChangeLog()
+        netlist.subscribe(log)
+        netlist.replace_cell("g1", "NAND2_X2")
+        assert isinstance(log.events[-1], CellSwapped)
+    """
+
+    def __init__(self) -> None:
+        self.events: List[NetlistEvent] = []
+
+    def on_netlist_event(self, event: NetlistEvent) -> None:
+        """Record one event (the subscriber protocol hook)."""
+        self.events.append(event)
+
+    def clear(self) -> None:
+        """Forget all recorded events."""
+        self.events.clear()
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
 class Netlist:
     """A named collection of gates with derived connectivity queries.
 
@@ -89,6 +215,54 @@ class Netlist:
         self._dirty = True
         self._fanouts: Dict[str, Tuple[str, ...]] = {}
         self._topo: List[str] = []
+        #: Weak references to subscribers (see :meth:`subscribe`); weak
+        #: so a netlist outliving its timing engines never pins them.
+        self._subscribers: List["weakref.ref"] = []
+
+    # -- change notification ------------------------------------------
+
+    def subscribe(self, subscriber: object) -> None:
+        """Register an object to receive change events.
+
+        ``subscriber`` must expose ``on_netlist_event(event)``; it is
+        held weakly, so subscribers need no explicit unsubscribe when
+        they go out of scope.
+        """
+        if not hasattr(subscriber, "on_netlist_event"):
+            raise TypeError(
+                f"subscriber {subscriber!r} has no on_netlist_event()"
+            )
+        ref = weakref.ref(subscriber)
+        if all(existing() is not subscriber for existing in self._subscribers):
+            self._subscribers.append(ref)
+
+    def unsubscribe(self, subscriber: object) -> None:
+        """Remove a subscriber (no-op when not registered)."""
+        self._subscribers = [
+            ref
+            for ref in self._subscribers
+            if ref() is not None and ref() is not subscriber
+        ]
+
+    def _emit(self, event: NetlistEvent) -> None:
+        """Deliver ``event`` to live subscribers, pruning dead refs."""
+        if not self._subscribers:
+            return
+        live: List["weakref.ref"] = []
+        for ref in self._subscribers:
+            subscriber = ref()
+            if subscriber is None:
+                continue
+            live.append(ref)
+            subscriber.on_netlist_event(event)
+        self._subscribers = live
+
+    def __getstate__(self) -> Dict[str, object]:
+        # Subscribers are weakrefs (unpicklable) and process-local by
+        # nature: a netlist shipped to a worker starts with none.
+        state = self.__dict__.copy()
+        state["_subscribers"] = []
+        return state
 
     # -- construction -------------------------------------------------
 
@@ -98,12 +272,14 @@ class Netlist:
             raise ValueError(f"duplicate gate name {gate.name!r}")
         self._gates[gate.name] = gate
         self._dirty = True
+        self._emit(GateAdded(gate.name))
 
     def replace_cell(self, name: str, cell: str) -> None:
         """Swap the library cell of a gate (sizing); keeps connectivity."""
         gate = self[name]
         self._gates[name] = gate.with_cell(cell)
-        # Connectivity unchanged; caches stay valid.
+        # Connectivity unchanged; topo/fanout caches stay valid.
+        self._emit(CellSwapped(name, gate.cell, cell))
 
     def rewire_fanin(
         self, sink: str, old_driver: str, new_driver: str
@@ -120,10 +296,9 @@ class Netlist:
             new_driver if fanin == old_driver else fanin
             for fanin in gate.fanins
         )
-        self._gates[sink] = Gate(
-            gate.name, gate.gtype, fanins, cell=gate.cell
-        )
+        self._gates[sink] = replace(gate, fanins=fanins)
         self._dirty = True
+        self._emit(FaninRewired(sink, old_driver, new_driver))
 
     def remove(self, name: str) -> None:
         """Delete a gate that drives nothing."""
@@ -135,6 +310,7 @@ class Netlist:
             )
         del self._gates[gate.name]
         self._dirty = True
+        self._emit(GateRemoved((gate.name,), tuple(gate.fanins)))
 
     def remove_many(self, names: Iterable[str]) -> None:
         """Remove a closed set of gates in one shot.
@@ -156,9 +332,17 @@ class Netlist:
                     f"cannot remove {sorted(broken)}: gate {gate.name!r} "
                     f"still reads them"
                 )
+        survivors: Set[str] = set()
+        for name in doomed:
+            for driver in self._gates[name].fanins:
+                if driver not in doomed:
+                    survivors.add(driver)
         for name in doomed:
             del self._gates[name]
         self._dirty = True
+        self._emit(
+            GateRemoved(tuple(sorted(doomed)), tuple(sorted(survivors)))
+        )
 
     # -- access -------------------------------------------------------
 

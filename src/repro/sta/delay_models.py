@@ -8,12 +8,12 @@ primary-output markers) have zero delay.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Set, Tuple
 
 from repro.cells.cell import CombCell
 from repro.errors import NetlistError
 from repro.cells.library import Library
-from repro.netlist.netlist import GateType, Netlist
+from repro.netlist.netlist import Gate, GateType, Netlist, NetlistEvent
 from repro.sta.loads import LoadModel
 
 #: Reference load used by the conservative gate-based model: a heavily
@@ -45,41 +45,89 @@ class DelayCalculator:
         self._slews: Dict[str, float] = {}
         self._edge_cache: Dict[Tuple[str, str], float] = {}
         self._dirty = True
+        #: Gates whose load/slew/arcs must be repaired before the next
+        #: query (fed by netlist change events, drained by _refresh).
+        self._pending_dirty: Set[str] = set()
+        netlist.subscribe(self)
 
     # -- cache management ---------------------------------------------
+
+    def on_netlist_event(self, event: NetlistEvent) -> None:
+        """Record a netlist change for scoped cache repair."""
+        if self._dirty:
+            return  # a full refresh is already owed
+        self._pending_dirty |= event.dirty_gates(self.netlist)
+        # Removed gates keep no cache entries either.
+        self._pending_dirty.update(event.removed_gates())
 
     def invalidate(self) -> None:
         """Drop caches after a netlist mutation (e.g. sizing)."""
         self._dirty = True
         self._edge_cache.clear()
+        self._pending_dirty.clear()
 
     def _refresh(self) -> None:
-        if not self._dirty:
+        if self._dirty:
+            self._loads = self.load_model.all_loads(
+                self.netlist, self.library
+            )
+            self._slews = self._compute_slews()
+            self._dirty = False
+            self._pending_dirty.clear()
             return
-        self._loads = self.load_model.all_loads(self.netlist, self.library)
-        self._slews = self._compute_slews()
-        self._dirty = False
+        if self._pending_dirty:
+            self._apply_patch()
+
+    def _apply_patch(self) -> None:
+        """Repair loads/slews/arcs for the pending dirty gates only.
+
+        Patched entries are computed by the same per-gate formulas a
+        full refresh uses, so a patched cache is bit-identical to a
+        rebuilt one.
+        """
+        dirty = self._pending_dirty
+        self._pending_dirty = set()
+        self.load_model.patch_loads(
+            self.netlist, self.library, self._loads, dirty
+        )
+        for name in dirty:
+            if name not in self.netlist:
+                self._slews.pop(name, None)
+                continue
+            gate = self.netlist[name]
+            if gate.gtype is GateType.OUTPUT:
+                continue
+            self._slews[name] = self._slew_of(gate)
+        for key in [
+            k
+            for k in self._edge_cache
+            if k[0] in dirty or k[1] in dirty
+        ]:
+            del self._edge_cache[key]
+
+    def _slew_of(self, gate: Gate) -> float:
+        """Worst output slew of one gate at its current load."""
+        if gate.is_source:
+            return self.load_model.source_slew
+        cell = self.library[gate.cell]
+        if not isinstance(cell, CombCell):
+            raise NetlistError(
+                [f"gate {gate.name!r}: cell {gate.cell!r} is not "
+                 f"combinational"]
+            )
+        load = self._loads.get(gate.name, 0.0)
+        return max(
+            cell.arc(pin).max_output_slew(load) for pin in cell.inputs
+        )
 
     def _compute_slews(self) -> Dict[str, float]:
-        """Worst output slew per gate, propagated in topological order."""
+        """Worst output slew per gate, in topological order."""
         slews: Dict[str, float] = {}
         for name in self.netlist.topo_order():
             gate = self.netlist[name]
-            if gate.is_source:
-                slews[name] = self.load_model.source_slew
-                continue
             if gate.gtype is GateType.OUTPUT:
                 continue
-            cell = self.library[gate.cell]
-            if not isinstance(cell, CombCell):
-                raise NetlistError(
-                    [f"gate {gate.name!r}: cell {gate.cell!r} is not "
-                     f"combinational"]
-                )
-            load = self._loads.get(name, 0.0)
-            slews[name] = max(
-                cell.arc(pin).max_output_slew(load) for pin in cell.inputs
-            )
+            slews[name] = self._slew_of(gate)
         return slews
 
     # -- queries --------------------------------------------------------
@@ -235,6 +283,16 @@ class FixedDelayCalculator(DelayCalculator):
         self._slews = {}
         self._edge_cache = {}
         self._dirty = False
+        self._pending_dirty: Set[str] = set()
+        netlist.subscribe(self)
+
+    def on_netlist_event(self, event: NetlistEvent) -> None:
+        """Evict arcs touching changed gates (delays are load-free)."""
+        dirty = event.dirty_gates(self.netlist) | set(event.removed_gates())
+        for key in [
+            k for k in self._edge_cache if k[0] in dirty or k[1] in dirty
+        ]:
+            del self._edge_cache[key]
 
     def invalidate(self) -> None:
         """Drop caches after a netlist mutation (e.g. sizing)."""

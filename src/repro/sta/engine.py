@@ -15,12 +15,13 @@ always propagates data at time 0), with optional per-source offsets.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional
+import heapq
+from typing import Dict, List, Mapping, Optional, Set, Tuple
 
 from repro import metrics
 from repro.cells.library import Library
 from repro.errors import TimingError
-from repro.netlist.netlist import Gate, GateType, Netlist
+from repro.netlist.netlist import Gate, GateType, Netlist, NetlistEvent
 from repro.sta.delay_models import (
     DelayCalculator,
     PathBasedCalculator,
@@ -35,8 +36,20 @@ NAN = float("nan")
 class TimingEngine:
     """Answers the timing queries of the retiming flows.
 
-    All results are cached and recomputed lazily after
-    :meth:`invalidate` (called by the sizing engine after cell swaps).
+    The engine subscribes to its netlist's change events.  In the
+    default **incremental** mode, each event is translated into scoped
+    cache repair: only the touched arcs are evicted and arrivals are
+    re-propagated with a levelized worklist seeded at the changed
+    gates, stopping wherever a recomputed value is unchanged.  Repairs
+    re-run the exact per-node max/DP operations of the full pass in
+    topological order, so incremental results are bit-identical to a
+    from-scratch recompute — the ``incremental=False`` mode, which
+    answers every event with whole-engine invalidation, is kept as the
+    parity oracle.
+
+    :meth:`invalidate` still drops everything explicitly (for callers
+    that mutate the netlist behind the event layer's back, e.g. the
+    fault injectors).
     """
 
     def __init__(
@@ -47,6 +60,7 @@ class TimingEngine:
         load_model: Optional[LoadModel] = None,
         source_offsets: Optional[Mapping[str, float]] = None,
         calculator: Optional[DelayCalculator] = None,
+        incremental: bool = True,
     ) -> None:
         self.netlist = netlist
         self.library = library
@@ -59,70 +73,205 @@ class TimingEngine:
                 model, netlist, library, load_model
             )
         self.source_offsets = dict(source_offsets or {})
+        self.incremental = bool(incremental)
         self._forward: Optional[Dict[str, float]] = None
+        #: Per-transition arrivals of the rise/fall DP; kept alongside
+        #: ``_forward`` so cone repair can re-seed from both states.
+        self._rise: Optional[Dict[str, float]] = None
+        self._fall: Optional[Dict[str, float]] = None
         self._backward_any: Optional[Dict[str, float]] = None
         self._backward_to: Dict[str, Dict[str, float]] = {}
         self._reverse_topo_cache: Optional[List[str]] = None
         self._topo_index: Dict[str, int] = {}
+        #: Event accumulation between queries (incremental mode).
+        self._pending_dirty: Set[str] = set()
+        self._pending_removed: Set[str] = set()
+        self._pending_structural = False
+        netlist.subscribe(self)
 
     # -- cache management ----------------------------------------------
+
+    def on_netlist_event(self, event: NetlistEvent) -> None:
+        """React to a netlist mutation (the subscriber protocol hook)."""
+        if not self.incremental:
+            # Parity-oracle mode: every event costs a full recompute,
+            # exactly like the historical mutate-then-invalidate flow.
+            self.invalidate()
+            return
+        metrics.count("sta.incremental.events")
+        self._pending_dirty |= event.dirty_gates(self.netlist)
+        self._pending_removed.update(event.removed_gates())
+        if event.structural:
+            self._pending_structural = True
 
     def invalidate(self) -> None:
         """Drop all timing caches (after sizing)."""
         metrics.count("sta.invalidate")
         self.calculator.invalidate()
         self._forward = None
+        self._rise = None
+        self._fall = None
         self._backward_any = None
         self._backward_to.clear()
         self._reverse_topo_cache = None
         self._topo_index = {}
+        self._pending_dirty.clear()
+        self._pending_removed.clear()
+        self._pending_structural = False
+
+    def _flush_events(self) -> None:
+        """Apply pending change events as scoped cache repair."""
+        if not (self._pending_dirty or self._pending_removed):
+            return
+        dirty = self._pending_dirty
+        removed = self._pending_removed
+        structural = self._pending_structural
+        self._pending_dirty = set()
+        self._pending_removed = set()
+        self._pending_structural = False
+        if structural:
+            # Connectivity changed: the levelization is stale.
+            self._reverse_topo_cache = None
+            self._topo_index = {}
+        # Per-endpoint backward memos: evict only the tables whose
+        # fanin cone can see a changed arc (the changed gates' fanout
+        # cones), instead of the historical wholesale clear.
+        if self._backward_to:
+            affected: Set[str] = set(removed)
+            for name in dirty:
+                if name in self.netlist:
+                    affected |= self.netlist.fanout_cone(name)
+            for endpoint in [t for t in self._backward_to if t in affected]:
+                del self._backward_to[endpoint]
+        # The any-endpoint table is one O(V+E) reverse pass; rebuild it
+        # lazily (it is queried between sizing passes, not inside them).
+        self._backward_any = None
+        if self._forward is None:
+            return
+        try:
+            self._repair_forward(dirty, removed)
+        except BaseException:
+            # A repair that raises (e.g. a gate made unreachable
+            # mid-mutation) must not leave half-updated arrivals; the
+            # next query recomputes from scratch and reports the same
+            # error a full pass would.
+            self._forward = None
+            self._rise = None
+            self._fall = None
+            raise
 
     # -- forward timing --------------------------------------------------
 
     def _source_offset(self, name: str) -> float:
         return self.source_offsets.get(name, 0.0)
 
+    def _forward_node(self, name: str, gate: Gate,
+                      arrivals: Dict[str, float]) -> float:
+        """Scalar arrival of one gate from its fanins' arrivals.
+
+        Shared by the full DP and the cone repair so both run the exact
+        same float operations per node (the bit-identity argument).
+        """
+        if gate.is_source:
+            return self._source_offset(name)
+        calc = self.calculator
+        best = NEG_INF
+        saw_nan = False
+        for driver in gate.fanins:
+            if driver not in arrivals:
+                raise TimingError(
+                    f"gate {name!r} reads {driver!r}, which has "
+                    f"no forward arrival (endpoint or outside "
+                    f"the combinational cloud)",
+                    payload={"gate": name, "fanin": driver},
+                )
+            candidate = arrivals[driver] + calc.edge_delay(
+                driver, name
+            )
+            if candidate != candidate:
+                # NaN delay: keep it visible for the guard's
+                # sanity checkpoint; max() would swallow it.
+                saw_nan = True
+                continue
+            best = max(best, candidate)
+        if best == NEG_INF:
+            if saw_nan:
+                return NAN
+            raise TimingError(
+                f"gate {name!r} has no fanins to propagate "
+                f"arrivals from",
+                payload={"gate": name},
+            )
+        return best
+
+    def _forward_node_rf(
+        self,
+        name: str,
+        gate: Gate,
+        rise: Dict[str, float],
+        fall: Dict[str, float],
+    ) -> Tuple[float, float]:
+        """Rise/fall arrivals of one gate from its fanins' states."""
+        if gate.is_source:
+            offset = self._source_offset(name)
+            return offset, offset
+        calc = self.calculator
+        best_rise = NEG_INF
+        best_fall = NEG_INF
+        saw_nan = False
+        for driver in set(gate.fanins):
+            if driver not in rise:
+                raise TimingError(
+                    f"gate {name!r} reads {driver!r}, which has no "
+                    f"forward arrival (endpoint or outside the "
+                    f"combinational cloud)",
+                    payload={"gate": name, "fanin": driver},
+                )
+            for in_rising, out_rising, delay in calc.transition_edges(
+                driver, name
+            ):
+                base = rise[driver] if in_rising else fall[driver]
+                if base == NEG_INF:
+                    continue
+                candidate = base + delay
+                if candidate != candidate:
+                    # NaN delay or NaN upstream state: keep it
+                    # visible for the guard's sanity checkpoint
+                    # instead of letting max() swallow it.
+                    saw_nan = True
+                    continue
+                if out_rising:
+                    best_rise = max(best_rise, candidate)
+                else:
+                    best_fall = max(best_fall, candidate)
+        if best_rise == NEG_INF and best_fall == NEG_INF:
+            if saw_nan:
+                return NAN, NAN
+            # Silently storing -inf would poison every
+            # downstream max(); name the gate instead.
+            raise TimingError(
+                f"gate {name!r} is unreachable under the "
+                f"rise/fall transition edges of its fanins "
+                f"{sorted(set(gate.fanins))}",
+                payload={
+                    "gate": name,
+                    "fanins": sorted(set(gate.fanins)),
+                },
+            )
+        return best_rise, best_fall
+
     def _compute_forward(self) -> Dict[str, float]:
         calc = self.calculator
         if isinstance(calc, PathBasedCalculator):
             return self._compute_forward_rf()
+        self._rise = None
+        self._fall = None
         arrivals: Dict[str, float] = {}
         for name in self.netlist.topo_order():
             gate = self.netlist[name]
-            if gate.is_source:
-                arrivals[name] = self._source_offset(name)
-            elif gate.gtype is GateType.OUTPUT:
+            if gate.gtype is GateType.OUTPUT:
                 continue
-            else:
-                best = NEG_INF
-                saw_nan = False
-                for driver in gate.fanins:
-                    if driver not in arrivals:
-                        raise TimingError(
-                            f"gate {name!r} reads {driver!r}, which has "
-                            f"no forward arrival (endpoint or outside "
-                            f"the combinational cloud)",
-                            payload={"gate": name, "fanin": driver},
-                        )
-                    candidate = arrivals[driver] + calc.edge_delay(
-                        driver, name
-                    )
-                    if candidate != candidate:
-                        # NaN delay: keep it visible for the guard's
-                        # sanity checkpoint; max() would swallow it.
-                        saw_nan = True
-                        continue
-                    best = max(best, candidate)
-                if best == NEG_INF:
-                    if saw_nan:
-                        best = NAN
-                    else:
-                        raise TimingError(
-                            f"gate {name!r} has no fanins to propagate "
-                            f"arrivals from",
-                            payload={"gate": name},
-                        )
-                arrivals[name] = best
+            arrivals[name] = self._forward_node(name, gate, arrivals)
         return arrivals
 
     def _compute_forward_rf(self) -> Dict[str, float]:
@@ -137,69 +286,102 @@ class TimingEngine:
         fall: Dict[str, float] = {}
         for name in self.netlist.topo_order():
             gate = self.netlist[name]
-            if gate.is_source:
-                offset = self._source_offset(name)
-                rise[name] = offset
-                fall[name] = offset
-                continue
             if gate.gtype is GateType.OUTPUT:
                 continue
-            best_rise = NEG_INF
-            best_fall = NEG_INF
-            saw_nan = False
-            for driver in set(gate.fanins):
-                if driver not in rise:
-                    raise TimingError(
-                        f"gate {name!r} reads {driver!r}, which has no "
-                        f"forward arrival (endpoint or outside the "
-                        f"combinational cloud)",
-                        payload={"gate": name, "fanin": driver},
-                    )
-                for in_rising, out_rising, delay in calc.transition_edges(
-                    driver, name
-                ):
-                    base = rise[driver] if in_rising else fall[driver]
-                    if base == NEG_INF:
-                        continue
-                    candidate = base + delay
-                    if candidate != candidate:
-                        # NaN delay or NaN upstream state: keep it
-                        # visible for the guard's sanity checkpoint
-                        # instead of letting max() swallow it.
-                        saw_nan = True
-                        continue
-                    if out_rising:
-                        best_rise = max(best_rise, candidate)
-                    else:
-                        best_fall = max(best_fall, candidate)
-            if best_rise == NEG_INF and best_fall == NEG_INF:
-                if saw_nan:
-                    best_rise = NAN
-                    best_fall = NAN
-                else:
-                    # Silently storing -inf would poison every
-                    # downstream max(); name the gate instead.
-                    raise TimingError(
-                        f"gate {name!r} is unreachable under the "
-                        f"rise/fall transition edges of its fanins "
-                        f"{sorted(set(gate.fanins))}",
-                        payload={
-                            "gate": name,
-                            "fanins": sorted(set(gate.fanins)),
-                        },
-                    )
-            rise[name] = best_rise
-            fall[name] = best_fall
+            rise[name], fall[name] = self._forward_node_rf(
+                name, gate, rise, fall
+            )
+        self._rise = rise
+        self._fall = fall
         return {
             name: max(rise[name], fall[name])
             for name in rise
         }
 
+    def _repair_forward(self, dirty: Set[str], removed: Set[str]) -> None:
+        """Re-propagate arrivals from the changed gates only.
+
+        Seeds are the dirty gates plus their direct fanouts (the sinks
+        of every possibly-changed arc); nodes pop off a heap keyed by
+        topological index so each is recomputed at most once, after all
+        of its upstream repairs.  Propagation past a node stops when its
+        recomputed value equals the cached one.
+        """
+        assert self._forward is not None
+        netlist = self.netlist
+        forward = self._forward
+        rf = isinstance(self.calculator, PathBasedCalculator)
+        rise = self._rise
+        fall = self._fall
+        if rf and (rise is None or fall is None):
+            # Rise/fall state lost (e.g. engine restored from pickle):
+            # repair is impossible, fall back to a full recompute.
+            self._forward = None
+            return
+        for name in removed:
+            forward.pop(name, None)
+            if rf:
+                rise.pop(name, None)
+                fall.pop(name, None)
+        seeds: Set[str] = set()
+        for name in dirty:
+            if name not in netlist:
+                continue
+            seeds.add(name)
+            seeds.update(netlist.fanouts(name))
+        if not seeds:
+            return
+        self._reverse_topo()  # (re)build the cached topo index
+        index = self._topo_index
+        size = len(index)
+        # _topo_index maps into the *reversed* order, so forward
+        # topological priority is size - reverse_index.
+        heap = [
+            (size - index[name], name) for name in seeds if name in index
+        ]
+        heapq.heapify(heap)
+        queued = {name for _, name in heap}
+        recomputed = 0
+        while heap:
+            _, name = heapq.heappop(heap)
+            gate = netlist[name]
+            if gate.gtype is GateType.OUTPUT:
+                continue
+            recomputed += 1
+            if rf:
+                new_rise, new_fall = self._forward_node_rf(
+                    name, gate, rise, fall
+                )
+                # != is deliberately NaN-propagating: a NaN result
+                # always counts as changed and keeps flowing downstream.
+                changed = (
+                    name not in rise
+                    or rise[name] != new_rise
+                    or fall[name] != new_fall
+                )
+                rise[name] = new_rise
+                fall[name] = new_fall
+                forward[name] = max(new_rise, new_fall)
+            else:
+                new_value = self._forward_node(name, gate, forward)
+                changed = name not in forward or forward[name] != new_value
+                forward[name] = new_value
+            if not changed:
+                continue
+            for user in netlist.fanouts(name):
+                if user in queued or user not in index:
+                    continue
+                queued.add(user)
+                heapq.heappush(heap, (size - index[user], user))
+        metrics.count("sta.incremental.nodes_recomputed", recomputed)
+
     def forward_arrival(self, name: str) -> float:
         """``D^f``: latest arrival at the output of gate ``name``."""
         metrics.count("sta.forward.query")
+        self._flush_events()
         if self._forward is None:
             metrics.count("sta.forward.compute")
+            metrics.count("sta.full_recompute")
             self._forward = self._compute_forward()
         try:
             return self._forward[name]
@@ -261,6 +443,7 @@ class TimingEngine:
     def max_backward(self, name: str) -> float:
         """``max_t D^b(name, t)`` over all endpoints (-inf if none)."""
         metrics.count("sta.backward_any.query")
+        self._flush_events()
         if self._backward_any is None:
             metrics.count("sta.backward_any.compute")
             self._backward_any = self._compute_backward_any()
@@ -303,6 +486,7 @@ class TimingEngine:
     def backward_delay(self, name: str, endpoint: str) -> float:
         """``D^b(name, endpoint)``; -inf when no path exists."""
         metrics.count("sta.backward_to.query")
+        self._flush_events()
         table = self._backward_to.get(endpoint)
         if table is None:
             metrics.count("sta.backward_to.compute")

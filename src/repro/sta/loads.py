@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Iterable
 
 from repro.cells.cell import CombCell, SequentialCell
 from repro.errors import NetlistError
@@ -69,3 +69,25 @@ class LoadModel:
             for gate in netlist
             if gate.gtype is not GateType.OUTPUT
         }
+
+    def patch_loads(
+        self,
+        netlist: Netlist,
+        library: Library,
+        loads: Dict[str, float],
+        dirty: Iterable[str],
+    ) -> None:
+        """Repair ``loads`` in place for the gates in ``dirty``.
+
+        Each surviving dirty gate gets the same :meth:`net_load` value
+        a full :meth:`all_loads` rebuild would assign (so scoped and
+        whole-netlist refreshes stay bit-identical); gates that no
+        longer exist are dropped.
+        """
+        for name in dirty:
+            if name not in netlist:
+                loads.pop(name, None)
+                continue
+            if netlist[name].gtype is GateType.OUTPUT:
+                continue
+            loads[name] = self.net_load(netlist, library, name)

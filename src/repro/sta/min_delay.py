@@ -14,19 +14,27 @@ delays and min-over-fanins DP.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+import heapq
+from typing import Dict, List, Optional, Set
 
+from repro import metrics
 from repro.cells.cell import CombCell
 from repro.errors import NetlistError, TimingError
 from repro.cells.library import Library
-from repro.netlist.netlist import GateType, Netlist
+from repro.netlist.netlist import Gate, GateType, Netlist, NetlistEvent
 from repro.sta.loads import LoadModel
 
 POS_INF = float("inf")
 
 
 class MinDelayAnalysis:
-    """Shortest-path arrivals over the combinational cloud."""
+    """Shortest-path arrivals over the combinational cloud.
+
+    Subscribes to netlist change events and repairs its min-arrival
+    table in place (same worklist scheme as the max-delay engine), so
+    the hold-fix loop no longer pays a full recompute per inserted
+    buffer.
+    """
 
     def __init__(
         self,
@@ -39,11 +47,89 @@ class MinDelayAnalysis:
         self.load_model = load_model or LoadModel()
         self._loads: Optional[Dict[str, float]] = None
         self._min_arrival: Optional[Dict[str, float]] = None
+        self._topo_index: Optional[Dict[str, int]] = None
+        self._pending_dirty: Set[str] = set()
+        self._pending_removed: Set[str] = set()
+        netlist.subscribe(self)
+
+    def on_netlist_event(self, event: NetlistEvent) -> None:
+        """Record a netlist change for scoped repair at the next query."""
+        self._pending_dirty |= event.dirty_gates(self.netlist)
+        self._pending_removed.update(event.removed_gates())
+        if event.structural:
+            self._topo_index = None
 
     def invalidate(self) -> None:
         """Drop caches after a netlist mutation."""
         self._loads = None
         self._min_arrival = None
+        self._topo_index = None
+        self._pending_dirty.clear()
+        self._pending_removed.clear()
+
+    def _index(self) -> Dict[str, int]:
+        if self._topo_index is None:
+            self._topo_index = {
+                name: i for i, name in enumerate(self.netlist.topo_order())
+            }
+        return self._topo_index
+
+    def _flush_events(self) -> None:
+        """Apply pending change events as scoped cache repair."""
+        if not (self._pending_dirty or self._pending_removed):
+            return
+        dirty = self._pending_dirty
+        removed = self._pending_removed
+        self._pending_dirty = set()
+        self._pending_removed = set()
+        if self._loads is not None:
+            self.load_model.patch_loads(
+                self.netlist, self.library, self._loads, dirty | removed
+            )
+        if self._min_arrival is None:
+            return
+        try:
+            self._repair(dirty, removed)
+        except BaseException:
+            self._min_arrival = None
+            raise
+
+    def _repair(self, dirty: Set[str], removed: Set[str]) -> None:
+        arrivals = self._min_arrival
+        assert arrivals is not None
+        netlist = self.netlist
+        for name in removed:
+            arrivals.pop(name, None)
+        seeds: Set[str] = set()
+        for name in dirty:
+            if name not in netlist:
+                continue
+            seeds.add(name)
+            seeds.update(netlist.fanouts(name))
+        if not seeds:
+            return
+        index = self._index()
+        heap = [(index[name], name) for name in seeds if name in index]
+        heapq.heapify(heap)
+        queued = {name for _, name in heap}
+        recomputed = 0
+        while heap:
+            _, name = heapq.heappop(heap)
+            gate = netlist[name]
+            if gate.gtype is GateType.OUTPUT:
+                continue
+            recomputed += 1
+            new_value = self._min_node(name, gate, arrivals)
+            changed = name not in arrivals or arrivals[name] != new_value
+            arrivals[name] = new_value
+            if not changed:
+                continue
+            for user in netlist.fanouts(name):
+                if user in queued or user not in index:
+                    continue
+                queued.add(user)
+                heapq.heappush(heap, (index[user], user))
+        metrics.count("sta.incremental.nodes_recomputed", recomputed)
 
     def _load(self, name: str) -> float:
         if self._loads is None:
@@ -54,6 +140,9 @@ class MinDelayAnalysis:
 
     def min_edge_delay(self, driver: str, sink: str) -> float:
         """Fastest single-transition delay of ``sink`` from ``driver``."""
+        # Re-entrant from _repair: pending sets are already drained
+        # there, so this flush is a no-op during repair itself.
+        self._flush_events()
         gate = self.netlist[sink]
         if not gate.is_comb:
             return 0.0
@@ -73,37 +162,43 @@ class MinDelayAnalysis:
             raise KeyError(f"{driver!r} does not drive {sink!r}")
         return best
 
+    def _min_node(
+        self, name: str, gate: Gate, arrivals: Dict[str, float]
+    ) -> float:
+        """Min arrival of one gate (shared by full DP and repair)."""
+        if gate.is_source:
+            return 0.0
+        if not gate.fanins:
+            raise TimingError(
+                f"gate {name!r} has no fanins to propagate "
+                f"min arrivals from",
+                payload={"gate": name},
+            )
+        for driver in gate.fanins:
+            if driver not in arrivals:
+                raise TimingError(
+                    f"gate {name!r} reads {driver!r}, which has "
+                    f"no min arrival (endpoint or outside the "
+                    f"combinational cloud)",
+                    payload={"gate": name, "fanin": driver},
+                )
+        return min(
+            arrivals[d] + self.min_edge_delay(d, name)
+            for d in gate.fanins
+        )
+
     def _compute(self) -> Dict[str, float]:
         arrivals: Dict[str, float] = {}
         for name in self.netlist.topo_order():
             gate = self.netlist[name]
-            if gate.is_source:
-                arrivals[name] = 0.0
-            elif gate.gtype is GateType.OUTPUT:
+            if gate.gtype is GateType.OUTPUT:
                 continue
-            else:
-                if not gate.fanins:
-                    raise TimingError(
-                        f"gate {name!r} has no fanins to propagate "
-                        f"min arrivals from",
-                        payload={"gate": name},
-                    )
-                for driver in gate.fanins:
-                    if driver not in arrivals:
-                        raise TimingError(
-                            f"gate {name!r} reads {driver!r}, which has "
-                            f"no min arrival (endpoint or outside the "
-                            f"combinational cloud)",
-                            payload={"gate": name, "fanin": driver},
-                        )
-                arrivals[name] = min(
-                    arrivals[d] + self.min_edge_delay(d, name)
-                    for d in gate.fanins
-                )
+            arrivals[name] = self._min_node(name, gate, arrivals)
         return arrivals
 
     def min_arrival(self, name: str) -> float:
         """Earliest possible arrival at the output of ``name``."""
+        self._flush_events()
         if self._min_arrival is None:
             self._min_arrival = self._compute()
         return self._min_arrival[name]

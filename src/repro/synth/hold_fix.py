@@ -88,10 +88,11 @@ def fix_hold(
         driver, sink = path[-2], path[-1]
         name = f"hold_buf{counter}"
         counter += 1
+        # The add + rewire emit change events; the analysis repairs
+        # only the spliced connection's cone before its next query.
         _insert_buffer(netlist, library, driver, sink, name)
         report.inserted.append(name)
         report.area_delta += buffer_cell.area
-        analysis.invalidate()
     else:
         pass
 

@@ -156,7 +156,6 @@ def recover_area(
         report.passes = pass_index + 1
         if not changed:
             break
-        circuit.invalidate_timing()
 
     # Safety: recovery must never break a limit.  Slack sharing makes
     # violations rare; a final verification pass undoes the pass's

@@ -27,6 +27,40 @@ from typing import Dict, List, Mapping, Optional, Set, Tuple
 from repro.cells.cell import CombCell
 from repro.latches.placement import SlavePlacement
 from repro.latches.resilient import EPS, TwoPhaseCircuit
+from repro.netlist.netlist import Netlist
+
+
+class TrialMoves:
+    """Speculative cell swaps with one-call rollback.
+
+    Both :meth:`apply` and :meth:`rollback` go through
+    ``Netlist.replace_cell``, so the timing engines receive matching
+    change events and repair exactly the cone a trial touched — a
+    rejected move costs two cone repairs (apply + undo), never a full
+    recompute.  ``moves`` holds ``(gate, original_cell)`` pairs in
+    application order.
+    """
+
+    def __init__(self, netlist: Netlist) -> None:
+        self.netlist = netlist
+        self.moves: List[Tuple[str, str]] = []
+
+    def __bool__(self) -> bool:
+        return bool(self.moves)
+
+    def __iter__(self):
+        return iter(self.moves)
+
+    def apply(self, name: str, new_cell: str) -> None:
+        """Swap ``name`` to ``new_cell``, remembering the original."""
+        self.moves.append((name, self.netlist[name].cell))
+        self.netlist.replace_cell(name, new_cell)
+
+    def rollback(self) -> None:
+        """Revert every recorded swap, newest first."""
+        for name, old_cell in reversed(self.moves):
+            self.netlist.replace_cell(name, old_cell)
+        self.moves.clear()
 
 
 @dataclass
@@ -184,19 +218,21 @@ def _speed_up_endpoint(
     budget: float,
     max_attempts: int = 4,
     safety: float = 1.3,
-) -> Tuple[bool, float, List[Tuple[str, str]]]:
+) -> Tuple[bool, float, TrialMoves]:
     """Estimate-apply-verify loop for one endpoint.
 
-    Returns (met_target, area_spent, undo_list).  The caller decides
-    whether to keep or revert via the undo list.
+    Returns (met_target, area_spent, trial).  The caller decides
+    whether to keep the trial's moves or ``rollback()`` them; either
+    way the timing caches follow via change events — no explicit
+    invalidation.
     """
     spent = 0.0
-    undo: List[Tuple[str, str]] = []
+    trial = TrialMoves(circuit.netlist)
     for _ in range(max_attempts):
         arrivals, post = circuit.arrival_details(placement)
         overshoot = arrivals.get(endpoint, 0.0) - target
         if overshoot <= EPS:
-            return True, spent, undo
+            return True, spent, trial
         path = _trace_violating_path(circuit, placement, post, endpoint)
         moves = _upsize_moves(circuit, path)
         chosen: List[Tuple[float, float, str, str]] = []
@@ -211,14 +247,12 @@ def _speed_up_endpoint(
             if estimated >= safety * overshoot:
                 break
         if not chosen:
-            return False, spent, undo
+            return False, spent, trial
         for _, area_cost, name, new_cell in chosen:
-            undo.append((name, circuit.netlist[name].cell))
-            circuit.netlist.replace_cell(name, new_cell)
+            trial.apply(name, new_cell)
             spent += area_cost
-        circuit.invalidate_timing()
     arrivals = circuit.endpoint_arrivals(placement)
-    return arrivals.get(endpoint, 0.0) - target <= EPS, spent, undo
+    return arrivals.get(endpoint, 0.0) - target <= EPS, spent, trial
 
 
 def size_only_compile(
@@ -274,11 +308,9 @@ def size_only_compile(
                 circuit.netlist.replace_cell(name, new_cell)
                 progressed = True
         report.passes = pass_index + 1
-        if progressed:
-            circuit.invalidate_timing()
-        elif not any(e in active for e in worst_first):
-            continue
-        else:
+        if not progressed:
+            if not any(e in active for e in worst_first):
+                continue
             break
 
     arrivals = circuit.endpoint_arrivals(placement)
@@ -339,8 +371,6 @@ def rescue_endpoints(
     # greedy rescues under the individual budget.
     for name, (old_cell, _) in batch.resized.items():
         circuit.netlist.replace_cell(name, old_cell)
-    if batch.resized:
-        circuit.invalidate_timing()
 
     arrivals = circuit.endpoint_arrivals(placement)
     queue = sorted(
@@ -355,21 +385,18 @@ def rescue_endpoints(
         if arrivals.get(endpoint, 0.0) <= target + EPS:
             report.rescued.append(endpoint)  # freebie from earlier rescue
             continue
-        met, spent, undo = _speed_up_endpoint(
+        met, spent, trial = _speed_up_endpoint(
             circuit, placement, endpoint, target, budget_per_endpoint
         )
-        stale = bool(undo)
+        stale = bool(trial)
         if met:
             report.rescued.append(endpoint)
             report.area_delta += spent
-            for name, old_cell in undo:
+            for name, old_cell in trial:
                 first = report.resized.get(name, (old_cell, ""))[0]
                 report.resized[name] = (first, circuit.netlist[name].cell)
         else:
-            for name, old_cell in reversed(undo):
-                circuit.netlist.replace_cell(name, old_cell)
-            if undo:
-                circuit.invalidate_timing()
+            trial.rollback()
             report.abandoned.append(endpoint)
     return report
 
@@ -435,13 +462,11 @@ def speed_paths(
                 circuit.netlist.replace_cell(name, new_cell)
                 progressed = True
         report.passes = pass_index + 1
-        if progressed:
-            circuit.invalidate_timing()
-        elif not active:
-            break
-        elif not any(e in active for e in worst_first):
-            continue
-        else:
+        if not progressed:
+            if not active:
+                break
+            if not any(e in active for e in worst_first):
+                continue
             break
 
     for endpoint, limit in limits.items():
@@ -525,8 +550,6 @@ def rescue_paths(
             return report
         for name, (old_cell, _) in batch.resized.items():
             circuit.netlist.replace_cell(name, old_cell)
-        if batch.resized:
-            circuit.invalidate_timing()
 
     engine = circuit.engine
     queue = sorted(candidates, key=engine.endpoint_arrival)
@@ -554,7 +577,5 @@ def rescue_paths(
             consecutive_failures += 1
             for name, (old_cell, _) in single.resized.items():
                 circuit.netlist.replace_cell(name, old_cell)
-            if single.resized:
-                circuit.invalidate_timing()
             report.abandoned.append(endpoint)
     return report

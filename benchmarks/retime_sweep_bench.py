@@ -1,0 +1,188 @@
+"""Benchmark the compiled G-RAR sweep against the cold-start oracle.
+
+Runs the full overhead sweep (c in {0.5, 1, 2}) twice per circuit —
+``retime_cache=False`` (every sweep point recomputes regions, cut sets
+and the graph, and cold-starts the simplex) and ``retime_cache=True``
+(compiled problem reused, each solve warm-started from the previous
+point's optimal basis) — verifies the outcomes are bit-identical
+(slave/EDL counts, areas, EDL and credit sets, objective, placement),
+and writes a ``repro-bench/1`` artifact with the retime-stage
+wall-clock and the cache/warm-start counters:
+
+    python benchmarks/retime_sweep_bench.py
+    python benchmarks/retime_sweep_bench.py --circuits s35932 s38417 \
+        --out benchmarks/results/BENCH_retime_sweep.json
+
+The committed artifact ``benchmarks/results/BENCH_retime_sweep.json``
+is the PR's acceptance evidence for the >= 2x floor on the G-RAR
+portion of the sweep on the largest suite circuits.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import Any, Dict, List
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import metrics  # noqa: E402
+from repro.cells import default_library  # noqa: E402
+from repro.circuits import build_benchmark  # noqa: E402
+from repro.flows import run_flow  # noqa: E402
+from repro.retime import clear_cache  # noqa: E402
+
+#: The two largest Table I circuits — the acceptance targets.
+DEFAULT_CIRCUITS = ["s35932", "s38417"]
+DEFAULT_SWEEP = [0.5, 1.0, 2.0]
+DEFAULT_METHOD = "grar"
+
+#: Counters that explain where the savings came from.
+COUNTER_KEYS = (
+    "retime.compile.misses",
+    "retime.compile.hits",
+    "retime.compile.basis_seeded",
+    "simplex.warm_start",
+    "simplex.basis_reused",
+    "simplex.pivots",
+)
+
+#: Accumulated wall clock of the G-RAR retimer invocations themselves
+#: — the portion the compiled problems and warm starts accelerate.
+#: (The surrounding flow also spends c-independent time in the rescue
+#: pass and the guard sentinels, reported via the stage/total rows.)
+GRAR_WALL = "retime.grar.wall_s"
+
+
+def _fingerprint(outcome) -> Dict[str, Any]:
+    """Everything the two modes must agree on, exactly."""
+    retiming = outcome.retiming
+    return {
+        "n_slaves": outcome.n_slaves,
+        "n_edl": outcome.n_edl,
+        "sequential_area": outcome.sequential_area,
+        "comb_area": outcome.comb_area,
+        "edl_endpoints": tuple(sorted(outcome.edl_endpoints)),
+        "objective": str(retiming.objective),
+        "placement": tuple(sorted(retiming.placement.retimed)),
+        "credited": tuple(sorted(retiming.credited_endpoints)),
+    }
+
+
+def bench_circuit(
+    circuit_name: str, method: str, sweep: List[float]
+) -> Dict[str, Any]:
+    """Time one circuit's overhead sweep in both modes; check parity."""
+    library = default_library()
+    netlist = build_benchmark(circuit_name, library)
+    row: Dict[str, Any] = {
+        "circuit": circuit_name,
+        "method": method,
+        "sweep": list(sweep),
+    }
+    fingerprints: Dict[str, List[Dict[str, Any]]] = {}
+    for mode, cache in (("cold", False), ("cached", True)):
+        clear_cache()
+        collector = metrics.MetricsCollector()
+        started = time.perf_counter()
+        prints: List[Dict[str, Any]] = []
+        with metrics.collect_into(collector):
+            for overhead in sweep:
+                outcome = run_flow(
+                    method,
+                    netlist,
+                    library,
+                    overhead,
+                    retime_cache=cache,
+                )
+                prints.append(_fingerprint(outcome))
+        wall = time.perf_counter() - started
+        fingerprints[mode] = prints
+        retime = collector.stages.get("retime")
+        row[f"{mode}_wall_s"] = round(wall, 3)
+        row[f"{mode}_retime_stage_s"] = round(
+            retime.wall_s if retime else 0.0, 3
+        )
+        row[f"{mode}_grar_s"] = round(
+            collector.counters.get(GRAR_WALL, 0.0), 3
+        )
+        row[f"{mode}_counters"] = {
+            key: collector.counters[key]
+            for key in COUNTER_KEYS
+            if key in collector.counters
+        }
+    if fingerprints["cold"] != fingerprints["cached"]:
+        raise AssertionError(
+            f"{circuit_name}/{method}: cached sweep disagrees with the "
+            f"cold-start oracle — the compiled problem is NOT "
+            f"bit-identical; do not trust its speed-up"
+        )
+    row["identical_outcomes"] = True
+    row["grar_speedup"] = round(
+        row["cold_grar_s"] / max(row["cached_grar_s"], 1e-9), 3
+    )
+    row["retime_stage_speedup"] = round(
+        row["cold_retime_stage_s"]
+        / max(row["cached_retime_stage_s"], 1e-9),
+        3,
+    )
+    row["total_speedup"] = round(
+        row["cold_wall_s"] / max(row["cached_wall_s"], 1e-9), 3
+    )
+    return row
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--circuits", nargs="*", default=DEFAULT_CIRCUITS)
+    parser.add_argument("--method", default=DEFAULT_METHOD)
+    parser.add_argument(
+        "--sweep", nargs="*", type=float, default=DEFAULT_SWEEP
+    )
+    parser.add_argument("--min-speedup", type=float, default=2.0)
+    parser.add_argument(
+        "--out",
+        default=str(
+            Path(__file__).resolve().parent
+            / "results"
+            / "BENCH_retime_sweep.json"
+        ),
+    )
+    args = parser.parse_args(argv)
+
+    collector = metrics.MetricsCollector()
+    cells = []
+    with metrics.collect_into(collector):
+        for circuit_name in args.circuits:
+            cell = bench_circuit(circuit_name, args.method, args.sweep)
+            cells.append(cell)
+            print(
+                f"{cell['circuit']:>7s}/{cell['method']:<5s} G-RAR: "
+                f"cold {cell['cold_grar_s']:8.2f}s   cached "
+                f"{cell['cached_grar_s']:8.2f}s   "
+                f"x{cell['grar_speedup']:.2f}   "
+                f"(retime stage x{cell['retime_stage_speedup']:.2f}, "
+                f"flow x{cell['total_speedup']:.2f})"
+            )
+    speedups = [cell["grar_speedup"] for cell in cells]
+    report = metrics.bench_report(
+        collector,
+        kind="retime-sweep",
+        method=args.method,
+        sweep=list(args.sweep),
+        cells=cells,
+        min_grar_speedup=min(speedups),
+        mean_grar_speedup=round(sum(speedups) / len(speedups), 3),
+    )
+    metrics.write_bench(args.out, report)
+    print(
+        f"\nmin G-RAR-portion speedup x{min(speedups):.2f}; "
+        f"artifact: {args.out}"
+    )
+    return 0 if min(speedups) >= args.min_speedup else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -120,6 +120,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     outcome = run_flow(
         args.method, netlist, library, args.overhead, scheme=scheme,
         guard=args.guard, sta_mode=args.sta_mode,
+        retime_cache=args.retime_cache == "on",
     )
     print(outcome.summary())
     if args.guard and args.guard != "off":
@@ -162,6 +163,7 @@ def _cmd_tables(args: argparse.Namespace) -> int:
         isolate=args.isolate,
         memo_path=args.memo,
         checkpoint_every=8 if jobs > 1 else 1,
+        retime_cache=args.retime_cache == "on",
     )
     producers = [
         ("table i", suite.table1),
@@ -304,6 +306,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--guard", default="off", choices=["off", "warn", "strict"],
         help="inter-stage invariant checkpoints",
     )
+    run.add_argument(
+        "--retime-cache", default="on", choices=["on", "off"],
+        help="reuse compiled retiming problems and simplex warm starts"
+             " across overhead sweeps; 'off' recomputes everything"
+             " (the bit-parity oracle)",
+    )
     run.set_defaults(func=_cmd_run)
 
     tables = sub.add_parser("tables", help="regenerate paper tables")
@@ -349,6 +357,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--bench-out", default=None, metavar="PATH",
         help="write a BENCH_suite.json artifact (per-stage wall-clock,"
              " peak RSS, solver-backend and STA cache counters)",
+    )
+    tables.add_argument(
+        "--retime-cache", default="on", choices=["on", "off"],
+        help="reuse compiled retiming problems and simplex warm starts"
+             " across the overhead sweep; 'off' recomputes everything"
+             " (the bit-parity oracle)",
     )
     tables.set_defaults(func=_cmd_tables)
 

@@ -148,6 +148,7 @@ def run_flow(
     solver_policy=None,
     guard: Union[Guard, GuardPolicy, str, None] = None,
     sta_mode: str = "incremental",
+    retime_cache: bool = True,
 ) -> FlowOutcome:
     """Run one method end to end on a private copy of ``netlist``.
 
@@ -155,6 +156,13 @@ def run_flow(
     updates (``"incremental"``, the default) and whole-engine
     invalidation on every netlist change (``"full"``, the parity
     oracle) — results are bit-identical, only the cost differs.
+
+    ``retime_cache`` enables the compiled-retiming cache and simplex
+    warm-starts across an overhead sweep (``False`` recomputes and
+    cold-starts every solve, the bit-parity oracle — results are
+    identical, only the cost differs).  The rescue pass resizes gates
+    under a c-dependent budget, so the post-rescue re-retime misses
+    the cache by fingerprint — again correct, merely slower.
 
     ``rescue_budget_scale`` scales the G-RAR EDL-avoidance budget: 0
     disables the combinational speed-ups entirely, values above 1 buy
@@ -218,6 +226,7 @@ def run_flow(
                 circuit, overhead,
                 solver=solver, conflict_policy=conflict_policy,
                 solver_policy=solver_policy,
+                retime_cache=retime_cache,
             )
         elif method in ("grar", "grar-gate", "grar-lp"):
             grar_solver = "lp" if method == "grar-lp" else solver
@@ -225,6 +234,7 @@ def run_flow(
                 circuit, overhead,
                 solver=grar_solver, conflict_policy=conflict_policy,
                 solver_policy=solver_policy,
+                retime_cache=retime_cache,
             )
             if sizing:
                 # Cost-aware EDL avoidance: speed the paths of masters
@@ -258,6 +268,7 @@ def run_flow(
                         circuit, overhead,
                         solver=grar_solver, conflict_policy=conflict_policy,
                         solver_policy=solver_policy,
+                        retime_cache=retime_cache,
                     )
         elif method in ("evl", "nvl", "rvl", "rvl-noswap", "rvl-movable"):
             variant = VlVariant(method.split("-")[0])
@@ -528,6 +539,7 @@ def run_methods(
     scheme: Optional[ClockScheme] = None,
     sizing: bool = True,
     sta_mode: str = "incremental",
+    retime_cache: bool = True,
 ) -> Dict[str, FlowOutcome]:
     """Run several methods under one shared clock scheme."""
     if scheme is None:
@@ -541,6 +553,7 @@ def run_methods(
             scheme=scheme,
             sizing=sizing,
             sta_mode=sta_mode,
+            retime_cache=retime_cache,
         )
         for method in methods
     }

@@ -49,8 +49,15 @@ def error_rate_tradeoff(
     scheme: Optional[ClockScheme] = None,
     cycles: int = 160,
     seed: int = 2017,
+    retime_cache: bool = True,
 ) -> List[TradeoffPoint]:
-    """Sweep the rescue budget and measure area vs error rate."""
+    """Sweep the rescue budget and measure area vs error rate.
+
+    Every budget point re-runs the grar flow on the same pristine
+    netlist, so with ``retime_cache`` on the first G-RAR solve of
+    each point hits the compiled problem (only post-rescue re-retimes
+    see fresh fingerprints).
+    """
     if scheme is None:
         scheme, _ = prepare_circuit(netlist, library)
     points: List[TradeoffPoint] = []
@@ -62,6 +69,7 @@ def error_rate_tradeoff(
             overhead,
             scheme=scheme,
             rescue_budget_scale=scale,
+            retime_cache=retime_cache,
         )
         report = estimate_error_rate(
             outcome.circuit,

@@ -128,10 +128,22 @@ class CellTask:
     seed: int
     sim_backend: str = "compiled"
     sta_mode: str = "incremental"
+    retime_cache: bool = True
+    #: sweep points this task covers (empty = just ``overhead``).
+    #: G-RAR tasks ship one sweep per circuit so the worker's compiled
+    #: problem and warm basis are reused across overheads.
+    overheads: Tuple[float, ...] = ()
+    #: subset of ``overheads`` that still owes a simulated error rate.
+    rate_overheads: Tuple[float, ...] = ()
 
     @property
     def key(self) -> Tuple[str, str, float]:
         return (self.circuit, self.method, self.overhead)
+
+    @property
+    def sweep(self) -> Tuple[float, ...]:
+        """The overheads this task actually runs."""
+        return self.overheads or (self.overhead,)
 
 
 @dataclass
@@ -214,6 +226,8 @@ def plan_cells(
                 levels: Tuple[float, ...] = (1.0,)
             else:
                 levels = tuple(c for _, c in LEVELS)
+            pending: List[float] = []
+            pending_rates: List[float] = []
             for overhead in levels:
                 key = (name, method, overhead)
                 have_outcome = key in suite._outcomes and not isinstance(
@@ -226,38 +240,74 @@ def plan_cells(
                 )
                 if have_outcome and not need_rate:
                     continue
+                pending.append(overhead)
+                if need_rate:
+                    pending_rates.append(overhead)
+            if not pending:
+                continue
+            group = (
+                method in ExperimentSuite.GRAR_METHODS
+                and suite.retime_cache
+            )
+            if group:
+                # One task per circuit covering the whole overhead
+                # sweep: the worker compiles the problem once and
+                # warm-starts each subsequent solve.
+                batches = [tuple(pending)]
+            else:
+                batches = [(overhead,) for overhead in pending]
+            for batch in batches:
                 tasks.append(
                     CellTask(
                         circuit=name,
                         method=method,
-                        overhead=overhead,
+                        overhead=batch[0],
                         netlist=netlist,
                         scheme=scheme,
                         library=suite.library,
                         guard=suite.guard,
                         solver_policy=suite.solver_policy,
-                        error_rate=need_rate,
+                        error_rate=batch[0] in pending_rates,
                         cycles=suite.error_rate_cycles,
                         seed=suite.sim_seed,
                         sim_backend=suite.sim_backend,
                         sta_mode=suite.sta_mode,
+                        retime_cache=suite.retime_cache,
+                        overheads=batch,
+                        rate_overheads=tuple(
+                            c for c in batch if c in pending_rates
+                        ),
                     )
                 )
     return tasks
 
 
-def run_cell(task: CellTask) -> CellResult:
-    """Execute one cell; the worker entry point (also usable inline).
+def run_cell(task: CellTask) -> List[CellResult]:
+    """Execute one task's overhead sweep; the worker entry point.
+
+    Single-overhead tasks return one result; grouped G-RAR tasks run
+    the circuit's whole sweep in-process, so the compiled retiming
+    problem and warm basis carry from point to point.
+    """
+    return [_run_point(task, overhead) for overhead in task.sweep]
+
+
+def _run_point(task: CellTask, overhead: float) -> CellResult:
+    """One (circuit, method, overhead) cell of a task (also inline).
 
     Mirrors ``ExperimentSuite._run`` plus the Table VIII simulation:
     failures come back as structured :class:`ReproError` dictionaries
     so the parent can either isolate them (``FailedOutcome``) or
     re-raise the typed error.
     """
+    if task.overheads:
+        need_rate = overhead in task.rate_overheads
+    else:
+        need_rate = task.error_rate
     collector = metrics.MetricsCollector()
     started = time.perf_counter()
     result = CellResult(
-        circuit=task.circuit, method=task.method, overhead=task.overhead
+        circuit=task.circuit, method=task.method, overhead=overhead
     )
     with metrics.collect_into(collector):
         try:
@@ -265,11 +315,12 @@ def run_cell(task: CellTask) -> CellResult:
                 task.method,
                 task.netlist,
                 task.library,
-                task.overhead,
+                overhead,
                 scheme=task.scheme,
                 guard=task.guard,
                 solver_policy=task.solver_policy,
                 sta_mode=task.sta_mode,
+                retime_cache=task.retime_cache,
             )
         except ReproError as exc:
             exc.annotate(circuit=task.circuit)
@@ -277,7 +328,7 @@ def run_cell(task: CellTask) -> CellResult:
             result.error_type = type(exc).__name__
         else:
             result.record = dict(FlowRecord.from_outcome(outcome).__dict__)
-            if task.error_rate:
+            if need_rate:
                 try:
                     with stage_scope("simulate", circuit=task.circuit):
                         report = estimate_error_rate(
@@ -379,14 +430,14 @@ def run_suite_parallel(
     results: List[CellResult] = []
     if jobs <= 1 or len(tasks) <= 1:
         for task in tasks:
-            results.append(run_cell(task))
+            results.extend(run_cell(task))
     else:
         with ProcessPoolExecutor(max_workers=jobs) as pool:
             pending = {pool.submit(run_cell, task) for task in tasks}
             while pending:
                 done, pending = wait(pending, return_when=FIRST_COMPLETED)
                 for future in done:
-                    results.append(future.result())
+                    results.extend(future.result())
     # Merge in a deterministic order so memo files and failure lists
     # do not depend on completion timing.
     results.sort(key=lambda r: (r.circuit, r.method, r.overhead))

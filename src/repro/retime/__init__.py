@@ -22,11 +22,22 @@ Pipeline (Section IV):
 
 from repro.retime.regions import Regions, compute_regions
 from repro.retime.cutset import CutSet, EndpointClass, compute_cut_sets
-from repro.retime.graph import RetimingGraph, GraphEdge, build_retiming_graph
-from repro.retime.simplex import NetworkSimplex, SimplexResult
+from repro.retime.graph import (
+    RetimingGraph,
+    GraphEdge,
+    build_retiming_graph,
+    recost_graph,
+)
+from repro.retime.simplex import NetworkSimplex, SimplexResult, WarmBasis
 from repro.retime.netflow import solve_retiming_flow
 from repro.retime.ilp import solve_retiming_lp
 from repro.retime.result import RetimingResult
+from repro.retime.compile import (
+    CompiledRetiming,
+    circuit_fingerprint,
+    clear_cache,
+    compile_retiming,
+)
 from repro.retime.grar import grar_retime
 from repro.retime.base import base_retime
 
@@ -39,11 +50,17 @@ __all__ = [
     "RetimingGraph",
     "GraphEdge",
     "build_retiming_graph",
+    "recost_graph",
     "NetworkSimplex",
     "SimplexResult",
+    "WarmBasis",
     "solve_retiming_flow",
     "solve_retiming_lp",
     "RetimingResult",
+    "CompiledRetiming",
+    "circuit_fingerprint",
+    "clear_cache",
+    "compile_retiming",
     "grar_retime",
     "base_retime",
 ]

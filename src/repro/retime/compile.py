@@ -1,0 +1,187 @@
+"""Compiled G-RAR problems: cache the c-independent work of a sweep.
+
+The overhead sweep (Table VII, the VI-D trade-off curve) solves the
+same G-RAR instance once per ``c`` — yet regions (Section IV-B), the
+per-master cut sets ``g(t)`` (IV-C), and the retiming-graph skeleton
+(IV-A) do not depend on ``c`` at all: only the ``P(t) -> host`` credit
+breadth carries it, entering the flow problem through node *demands*,
+never arc costs.  This module compiles that invariant part once per
+circuit and re-costs it per sweep point:
+
+* :func:`circuit_fingerprint` — a content hash over everything the
+  invariant part *does* depend on (netlist structure and cells, clock
+  scheme, latch timing, delay model, conflict policy).  Re-sized
+  netlists (the rescue pass changes gate cells, and its budget is
+  c-dependent) therefore miss the cache — correctly.
+* :func:`compile_retiming` — the per-fingerprint LRU cache of
+  :class:`CompiledRetiming`; emits ``retime.compile.{hits,misses}``.
+* :class:`CompiledRetiming` — regions + cut sets + graph skeleton,
+  plus the previous sweep point's optimal simplex basis
+  (``last_basis``) so the next solve can warm-start.
+
+Parity: with the cache *off* every solve recomputes and cold-starts —
+the bit-exact oracle.  With it *on*, :func:`recost_graph` reproduces
+``build_retiming_graph`` exactly (same node and edge order), and the
+solver canonicalizes its dual potentials, so ``r_values``, objective,
+placement and EDL sets are identical either way (asserted by
+``tests/test_retime_compile.py`` and the CI parity job).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro import metrics
+from repro.latches.resilient import TwoPhaseCircuit
+from repro.retime.cutset import CutSet, compute_cut_sets
+from repro.retime.graph import (
+    RetimingGraph,
+    build_retiming_graph,
+    recost_graph,
+)
+from repro.retime.regions import Regions, compute_regions
+from repro.retime.simplex import WarmBasis
+
+__all__ = [
+    "CompiledRetiming",
+    "circuit_fingerprint",
+    "clear_cache",
+    "compile_retiming",
+]
+
+#: Compiled problems kept alive (LRU).  A suite touches a handful of
+#: circuits at a time; the skeleton of the largest is a few MB.
+_MAX_ENTRIES = 8
+
+_CACHE: "OrderedDict[str, CompiledRetiming]" = OrderedDict()
+
+
+@dataclass
+class CompiledRetiming:
+    """The c-independent two thirds of a G-RAR problem."""
+
+    fingerprint: str
+    circuit_name: str
+    conflict_policy: str
+    regions: Regions
+    cut_sets: Dict[str, CutSet]
+    #: Graph built at the first requested overhead; re-costed per c.
+    skeleton: RetimingGraph
+    #: Optimal basis of the most recent solve of this problem — arc
+    #: costs are identical across the sweep, so it warm-starts the
+    #: next overhead's simplex.  Updated in place by ``grar_retime``.
+    last_basis: Optional[WarmBasis] = field(default=None)
+
+    def graph_for(self, overhead: float) -> RetimingGraph:
+        """The full G-RAR graph at ``overhead`` (credit re-cost only)."""
+        return recost_graph(self.skeleton, overhead)
+
+
+def circuit_fingerprint(
+    circuit: TwoPhaseCircuit, conflict_policy: str = "error"
+) -> str:
+    """Content hash of everything regions/cut sets/skeleton depend on.
+
+    Hashes the netlist *by value* (name, gates, cells, fanins), so the
+    copies the flow pipeline makes of a pristine circuit collide — the
+    point of the cache — while any resizing or restructuring changes
+    the digest.
+    """
+    digest = hashlib.sha256()
+
+    def feed(*parts: object) -> None:
+        for part in parts:
+            digest.update(str(part).encode())
+            digest.update(b"\x1f")
+
+    netlist = circuit.netlist
+    feed("netlist", netlist.name)
+    for gate in netlist:
+        feed(gate.name, gate.gtype.value, gate.cell or "", *gate.fanins)
+    scheme = circuit.scheme
+    feed(
+        "scheme",
+        scheme.phi1,
+        scheme.gamma1,
+        scheme.phi2,
+        scheme.gamma2,
+    )
+    feed(
+        "latch",
+        circuit.latch_ck_q,
+        circuit.latch_d_q,
+        circuit.latch_area,
+    )
+    engine = circuit.engine
+    feed("model", type(engine.calculator).__name__)
+    for name in sorted(engine.source_offsets):
+        feed("offset", name, engine.source_offsets[name])
+    library = circuit.library
+    if library is not None:
+        feed("library", library.name, len(library.cells))
+    feed("conflict_policy", conflict_policy)
+    return digest.hexdigest()
+
+
+def compile_retiming(
+    circuit: TwoPhaseCircuit,
+    overhead: float,
+    conflict_policy: str = "error",
+) -> CompiledRetiming:
+    """Fetch or build the compiled problem for ``circuit``.
+
+    ``overhead`` seeds the skeleton on a cache miss (any positive
+    value yields the same skeleton modulo credit breadths, which
+    :func:`recost_graph` patches per solve); it must be positive, as
+    the c=0 graph has no pseudo nodes and is not resiliency-aware.
+    """
+    if overhead <= 0:
+        raise ValueError("compile_retiming requires overhead > 0")
+    key = circuit_fingerprint(circuit, conflict_policy)
+    entry = _CACHE.get(key)
+    if entry is not None:
+        _CACHE.move_to_end(key)
+        metrics.count("retime.compile.hits")
+        return entry
+    metrics.count("retime.compile.misses")
+    regions = compute_regions(circuit, conflict_policy=conflict_policy)
+    cut_sets = compute_cut_sets(circuit, regions)
+    skeleton = build_retiming_graph(
+        circuit, regions, cut_sets=cut_sets, overhead=overhead
+    )
+    entry = CompiledRetiming(
+        fingerprint=key,
+        circuit_name=circuit.netlist.name,
+        conflict_policy=conflict_policy,
+        regions=regions,
+        cut_sets=cut_sets,
+        skeleton=skeleton,
+    )
+    # Seed the warm start from a sibling problem of the same circuit
+    # (e.g. the pristine problem, when the rescue pass resized a few
+    # gates and forced this miss): the simplex validates the basis
+    # shape and repairs primal feasibility, and the canonical dual
+    # potentials make the result independent of the seed.
+    for other in reversed(list(_CACHE.values())):
+        if (
+            other.circuit_name == entry.circuit_name
+            and other.conflict_policy == entry.conflict_policy
+            and other.last_basis is not None
+            and len(other.skeleton.nodes) == len(skeleton.nodes)
+            and len(other.skeleton.edges) == len(skeleton.edges)
+        ):
+            entry.last_basis = other.last_basis
+            metrics.count("retime.compile.basis_seeded")
+            break
+    _CACHE[key] = entry
+    while len(_CACHE) > _MAX_ENTRIES:
+        _CACHE.popitem(last=False)
+    return entry
+
+
+def clear_cache() -> None:
+    """Drop every compiled problem (tests and the cache-off oracle)."""
+    _CACHE.clear()

@@ -151,6 +151,48 @@ class RetimingGraph:
         }
 
 
+def recost_graph(
+    skeleton: RetimingGraph, overhead: float
+) -> RetimingGraph:
+    """Re-target a built G-RAR graph to a new overhead ``c``.
+
+    Only the CREDIT edges ``P(t) -> host`` carry ``c`` (breadth
+    ``-c``); every node, bound, pseudo-node and non-credit edge of the
+    graph is c-independent (the invariant the compile cache rests on,
+    see ``tests/test_retime_compile.py``).  Patching the credit
+    breadths therefore reproduces ``build_retiming_graph(...,
+    overhead=c)`` exactly — same node order, same edge order — at a
+    fraction of the cost.  The skeleton must have been built with a
+    positive overhead (a circuit with no creditable endpoints then has
+    no pseudo nodes, and re-costing is a no-op); the returned graph
+    shares the skeleton's node/bound containers, which no consumer
+    mutates.
+    """
+    if skeleton.overhead <= 0:
+        raise ValueError(
+            "recost_graph needs a resiliency-aware skeleton (built "
+            "with cut sets and overhead > 0)"
+        )
+    c = Fraction(overhead).limit_denominator(10**6)
+    if c <= 0:
+        raise ValueError("recost_graph requires overhead > 0")
+    if c == skeleton.overhead:
+        return skeleton
+    edges = [
+        edge
+        if edge.kind is not EdgeKind.CREDIT
+        else GraphEdge(edge.tail, edge.head, edge.weight, -c, edge.kind)
+        for edge in skeleton.edges
+    ]
+    return RetimingGraph(
+        nodes=skeleton.nodes,
+        edges=edges,
+        bounds=skeleton.bounds,
+        pseudo_nodes=skeleton.pseudo_nodes,
+        overhead=c,
+    )
+
+
 def build_retiming_graph(
     circuit: TwoPhaseCircuit,
     regions: Regions,

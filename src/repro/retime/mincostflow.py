@@ -29,7 +29,9 @@ feasibility and complementary slackness.
 
 from __future__ import annotations
 
+import math
 import time
+from collections import deque
 from dataclasses import dataclass, field
 from fractions import Fraction
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -40,7 +42,7 @@ from repro.errors import (
     SolverError,
     UnboundedFlowError,
 )
-from repro.retime.simplex import Arc, NetworkSimplex, Node
+from repro.retime.simplex import Arc, NetworkSimplex, Node, WarmBasis
 
 try:  # pragma: no cover - import guard
     from scipy.optimize import linprog as _linprog
@@ -134,6 +136,9 @@ class MinCostFlowResult:
     backend: str
     iterations: int = 0
     attempts: List[BackendAttempt] = field(default_factory=list)
+    #: Optimal spanning-tree basis (simplex backend only) — feed it to
+    #: the next solve of a structurally identical problem to warm-start.
+    basis: Optional[WarmBasis] = None
 
 
 def _scaled_demands(
@@ -150,9 +155,7 @@ def _scaled_demands(
     scale = 1
     for value in raw.values():
         total += value
-        den = value.denominator
-        g = _gcd(scale, den)
-        scale = scale // g * den
+        scale = math.lcm(scale, value.denominator)
         if scale > _MAX_SCALE:
             raise SolverError(
                 "demand denominators exceed the integer-scaling limit "
@@ -163,46 +166,58 @@ def _scaled_demands(
     return scale, {node: int(value * scale) for node, value in raw.items()}
 
 
-def _gcd(a: int, b: int) -> int:
-    while b:
-        a, b = b, a % b
-    return a
-
-
 def _potentials_from_flow(
     nodes: Sequence[Node],
     arcs: Sequence[Arc],
     flows: Dict[int, int],
 ) -> Dict[Node, int]:
-    """Recover optimal dual potentials from an optimal flow.
+    """Recover *canonical* optimal dual potentials from an optimal flow.
 
-    Bellman-Ford shortest distances from an implicit super-source over
-    the residual graph (all distances start at 0).  Optimality of the
-    flow means no negative residual cycle, so the relaxation converges
-    within ``len(nodes)`` passes; ``pi(v) = -dist(v)`` then satisfies
-    the reduced-cost conditions exactly.
+    Queue-based Bellman-Ford (SPFA) shortest distances from an
+    implicit super-source over the residual graph (all distances start
+    at 0).  Optimality of the flow means no negative residual cycle,
+    so the distances exist and are integral; ``pi(v) = -dist(v)`` then
+    satisfies the reduced-cost conditions exactly.
+
+    These potentials are canonical: the optimal-dual set of a min-cost
+    flow is the same for every optimal primal flow (complementary
+    slackness pins the tight constraints), and the shortest distances
+    are its unique pointwise-extreme element — so the result does not
+    depend on which backend produced the flow, whether the simplex was
+    warm-started, or which of several optimal bases it stopped at.
+    Every backend routes its potentials through here, which is what
+    makes sweep-cached solves bit-identical to the cold oracle.
     """
     dist = {node: 0 for node in nodes}
-    residual: List[Tuple[Node, Node, int]] = []
+    adjacency: Dict[Node, List[Tuple[Node, int]]] = {
+        node: [] for node in nodes
+    }
     for index, (tail, head, cost) in enumerate(arcs):
-        residual.append((tail, head, int(cost)))
+        adjacency[tail].append((head, int(cost)))
         if flows.get(index, 0) > 0:
-            residual.append((head, tail, -int(cost)))
+            adjacency[head].append((tail, -int(cost)))
 
-    for _ in range(len(nodes)):
-        changed = False
-        for tail, head, cost in residual:
-            candidate = dist[tail] + cost
-            if candidate < dist[head]:
-                dist[head] = candidate
-                changed = True
-        if not changed:
-            break
-    else:
-        raise SolverError(
-            "potential recovery found a negative residual cycle — the "
-            "claimed-optimal flow is not optimal"
-        )
+    queue = deque(nodes)
+    queued = {node: True for node in nodes}
+    enqueues = {node: 1 for node in nodes}
+    limit = len(nodes) + 1
+    while queue:
+        u = queue.popleft()
+        queued[u] = False
+        du = dist[u]
+        for v, cost in adjacency[u]:
+            candidate = du + cost
+            if candidate < dist[v]:
+                dist[v] = candidate
+                if not queued[v]:
+                    enqueues[v] += 1
+                    if enqueues[v] > limit:
+                        raise SolverError(
+                            "potential recovery found a negative residual "
+                            "cycle — the claimed-optimal flow is not optimal"
+                        )
+                    queued[v] = True
+                    queue.append(v)
     return {node: -dist[node] for node in nodes}
 
 
@@ -251,6 +266,7 @@ def _solve_simplex(
     arcs: Sequence[Arc],
     demands: Dict[Node, Fraction],
     policy: SolverPolicy,
+    warm_basis: Optional[WarmBasis] = None,
 ) -> MinCostFlowResult:
     simplex = NetworkSimplex(
         nodes,
@@ -258,14 +274,21 @@ def _solve_simplex(
         demands,
         max_iterations=policy.max_iterations,
         deadline_s=policy.deadline_s,
+        warm_basis=warm_basis,
     )
     result = simplex.solve()
+    # Canonicalize the duals: a warm start (or any alternative optimal
+    # basis) may stop at a different vertex than a cold start; routing
+    # through the residual-graph shortest distances makes the returned
+    # potentials a function of the *problem*, not the solve path.
+    potentials = _potentials_from_flow(nodes, arcs, result.flows)
     return MinCostFlowResult(
         flows=result.flows,
-        potentials=result.potentials,
+        potentials=potentials,
         objective=result.objective,
         backend="simplex",
         iterations=result.iterations,
+        basis=simplex.export_basis(),
     )
 
 
@@ -274,6 +297,7 @@ def _solve_scipy(
     arcs: Sequence[Arc],
     demands: Dict[Node, Fraction],
     policy: SolverPolicy,
+    warm_basis: Optional[WarmBasis] = None,
 ) -> MinCostFlowResult:
     if not _HAS_SCIPY:
         raise SolverError("scipy backend unavailable")
@@ -342,6 +366,7 @@ def _solve_networkx(
     arcs: Sequence[Arc],
     demands: Dict[Node, Fraction],
     policy: SolverPolicy,
+    warm_basis: Optional[WarmBasis] = None,
 ) -> MinCostFlowResult:
     if not _HAS_NETWORKX:
         raise SolverError("networkx backend unavailable")
@@ -396,8 +421,14 @@ def solve_min_cost_flow(
     arcs: Sequence[Arc],
     demands: Dict[Node, Fraction],
     policy: SolverPolicy = DEFAULT_POLICY,
+    warm_basis: Optional[WarmBasis] = None,
 ) -> MinCostFlowResult:
     """Solve with the fallback chain described in the module docstring.
+
+    ``warm_basis`` (a previous solve's optimal basis over the *same*
+    arc list) is honored by the simplex backend and silently ignored
+    by the flow-only fallbacks — every backend's potentials are
+    canonicalized, so the answer is warm/cold-invariant either way.
 
     Raises :class:`InfeasibleFlowError` / :class:`UnboundedFlowError`
     as soon as any backend proves the *problem* is bad, and
@@ -417,7 +448,7 @@ def solve_min_cost_flow(
             )
         started = time.perf_counter()
         try:
-            result = func(nodes, arcs, demands, policy)
+            result = func(nodes, arcs, demands, policy, warm_basis)
         except (InfeasibleFlowError, UnboundedFlowError) as exc:
             # A verdict about the problem itself: retrying with a
             # different backend cannot change it.

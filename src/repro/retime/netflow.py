@@ -26,7 +26,7 @@ from repro.retime.mincostflow import (
     SolverPolicy,
     solve_min_cost_flow,
 )
-from repro.retime.simplex import SimplexResult
+from repro.retime.simplex import SimplexResult, WarmBasis
 
 
 @dataclass
@@ -40,6 +40,9 @@ class FlowSolution:
     simplex: Optional[SimplexResult] = None
     backend: str = "simplex"
     attempts: List[BackendAttempt] = field(default_factory=list)
+    #: Optimal basis for warm-starting the next sweep point (simplex
+    #: backend only; ``None`` from the fallback backends).
+    basis: Optional[WarmBasis] = None
 
     def r(self, name: str) -> int:
         """The retiming label of ``name`` (0 for unknown nodes)."""
@@ -88,19 +91,25 @@ def solve_retiming_flow(
     graph: RetimingGraph,
     max_iterations: Optional[int] = None,
     policy: Optional[SolverPolicy] = None,
+    warm_basis: Optional[WarmBasis] = None,
 ) -> FlowSolution:
     """Solve the retiming graph via the min-cost-flow dual.
 
     ``policy`` configures the solver-fallback chain; by default the
     in-house network simplex answers, with scipy and networkx standing
-    by should it break down.
+    by should it break down.  ``warm_basis`` — an optimal basis from a
+    previous overhead of the *same compiled problem* — lets the
+    simplex skip its artificial cold start; the returned solution
+    carries the new optimal basis for the next sweep point.
     """
     demands = build_demands(graph)
     arcs: List[Tuple[str, str, int]] = [
         (edge.tail, edge.head, edge.weight) for edge in graph.edges
     ]
     effective = (policy or DEFAULT_POLICY).with_defaults(max_iterations)
-    result = solve_min_cost_flow(graph.nodes, arcs, demands, effective)
+    result = solve_min_cost_flow(
+        graph.nodes, arcs, demands, effective, warm_basis=warm_basis
+    )
 
     host_pot = result.potentials[HOST]
     r_values = {
@@ -133,4 +142,5 @@ def solve_retiming_flow(
         iterations=result.iterations,
         backend=result.backend,
         attempts=result.attempts,
+        basis=result.basis,
     )

@@ -20,12 +20,15 @@ first-eligible entering rule with a Bland fallback for anti-cycling.
 
 from __future__ import annotations
 
+import math
 import random
 import time
+from collections import deque
 from dataclasses import dataclass
 from fractions import Fraction
 from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
+from repro import metrics
 from repro.errors import (
     InfeasibleFlowError,
     SolverError,
@@ -43,13 +46,28 @@ __all__ = [
     "Node",
     "SimplexResult",
     "UnboundedFlowError",
+    "WarmBasis",
 ]
 
+#: How many pivots between wall-clock deadline checks.  The first
+#: pivot always checks, so ``deadline_s=0.0`` still aborts instantly.
+_DEADLINE_STRIDE = 64
 
-def _gcd(a: int, b: int) -> int:
-    while b:
-        a, b = b, a % b
-    return a
+
+@dataclass(frozen=True)
+class WarmBasis:
+    """The real-arc part of an optimal spanning-tree basis.
+
+    Arc ids index the *same* arc list a later solve is built from —
+    valid only across problems that share their arc structure (the
+    compiled-retiming sweep, where only demands change with the
+    overhead ``c``).  Nodes not covered by ``real_arcs`` hang off the
+    artificial root, exactly as in a cold start.
+    """
+
+    n: int
+    m: int
+    real_arcs: Tuple[int, ...]
 
 
 @dataclass
@@ -79,6 +97,7 @@ class NetworkSimplex:
         max_iterations: Optional[int] = None,
         deadline_s: Optional[float] = None,
         pivot_chaos: Optional[random.Random] = None,
+        warm_basis: Optional[WarmBasis] = None,
     ) -> None:
         self.node_names = list(nodes)
         self.n = len(self.node_names)
@@ -108,17 +127,20 @@ class NetworkSimplex:
         # small (it is the lcm of the fanout degrees): integer flow
         # arithmetic is several times faster than Fractions and stays
         # exact.  Potentials (the retiming labels) are scale-invariant.
+        # ``scale`` is always an int — the overflow path keeps Fraction
+        # demands at scale 1 instead of switching the type of the
+        # attribute itself.
         scale = 1
         for value in raw:
-            scale = scale * value.denominator // _gcd(scale, value.denominator)
+            scale = math.lcm(scale, value.denominator)
             if scale > 10**12:
                 scale = 0
                 break
         if scale:
-            self.scale = scale
+            self.scale: int = scale
             self.demand = [int(v * scale) for v in raw]
         else:
-            self.scale = Fraction(1)
+            self.scale = 1
             self.demand = raw
         self.max_iterations = max_iterations or max(
             200000, 50 * (self.m + self.n)
@@ -129,6 +151,12 @@ class NetworkSimplex:
         #: selection (see :mod:`repro.faults`), stressing the
         #: anti-cycling safeguards.  Never set in production flows.
         self.pivot_chaos = pivot_chaos
+        #: Optional basis from a previous solve of a structurally
+        #: identical problem; validated (and repaired to primal
+        #: feasibility) in :meth:`_build_warm_tree`.
+        self.warm_basis = warm_basis
+        #: True once a warm basis was accepted and installed.
+        self.basis_reused = False
         self.degenerate_pivots = 0
         self.bland_used = False
 
@@ -143,8 +171,22 @@ class NetworkSimplex:
         fallback; Bland's rule then guarantees termination.  A
         ``deadline_s`` wall-clock budget turns pathological instances
         into a typed :class:`SolverTimeoutError` instead of a hang.
+
+        With a ``warm_basis`` the pivot loop starts from the previous
+        sweep point's optimal spanning tree instead of the big-M
+        artificial star: arc costs are identical across the sweep, so
+        the warm tree's potentials are already dual-feasible, and only
+        the primal repair of :meth:`_build_warm_tree` (plus big-M
+        pricing of any re-attached artificial arcs) stands between the
+        warm start and optimality — typically a handful of pivots.
         """
-        self._build_initial_tree()
+        if self.warm_basis is not None:
+            metrics.count("simplex.warm_start")
+            self.basis_reused = self._build_warm_tree(self.warm_basis)
+            if self.basis_reused:
+                metrics.count("simplex.basis_reused")
+        if not self.basis_reused:
+            self._build_initial_tree()
         iterations = 0
         cursor = 0
         bland = False
@@ -179,9 +221,12 @@ class NetworkSimplex:
                         "degenerate_pivots": self.degenerate_pivots,
                     },
                 )
-            if self.deadline_s is not None:
-                # perf_counter is cheap next to an O(n) pivot; checking
-                # every iteration keeps even sub-millisecond deadlines
+            if self.deadline_s is not None and (
+                iterations == 1 or iterations % _DEADLINE_STRIDE == 0
+            ):
+                # Checking every pivot costs a perf_counter syscall in
+                # the hottest loop; a stride amortizes it while the
+                # first-pivot check keeps even a 0-second deadline
                 # honest.
                 elapsed = time.perf_counter() - started
                 if elapsed > self.deadline_s:
@@ -194,6 +239,7 @@ class NetworkSimplex:
                             "elapsed_s": elapsed,
                         },
                     )
+        metrics.count("simplex.pivots", iterations)
         return self._extract(iterations)
 
     # -- initial basis ------------------------------------------------------
@@ -235,7 +281,168 @@ class NetworkSimplex:
             self.parent[v] = root
             self.parent_arc[v] = arc_id
             self.children[root].add(v)
-        self.in_tree = set(range(m, m + n))
+        # Arc-indexed membership mask (real arcs then artificials):
+        # O(1) branch-free lookups in the pricing loop.
+        self.in_tree = bytearray(m + n)
+        for arc_id in range(m, m + n):
+            self.in_tree[arc_id] = 1
+
+    def _build_warm_tree(self, basis: WarmBasis) -> bool:
+        """Install a previous optimal basis; returns False to cold-start.
+
+        The basis' real arcs are validated (ids in range, acyclic);
+        any failure rejects the warm start rather than guessing.  Tree
+        flows are then re-derived bottom-up from the *new* demands:
+        the parent arc of every subtree must carry the subtree's
+        demand sum across the cut, and a real arc whose fixed
+        orientation cannot carry that sum (it would need negative
+        flow) has its subtree re-attached directly to the artificial
+        root through the node's own artificial arc — artificial arcs
+        are rebuilt fresh each solve, so their orientation is free.
+        Potentials are recomputed from the final tree (zero reduced
+        cost on tree arcs), which keeps them dual-feasible wherever
+        the old basis survives; the ordinary pivot loop then prices
+        out whatever big-M artificial flow the repair introduced.
+        """
+        n, m = self.n, self.m
+        if basis.n != n or basis.m != m:
+            return False
+        root = n
+        uf = list(range(n))
+
+        def find(x: int) -> int:
+            while uf[x] != x:
+                uf[x] = uf[uf[x]]
+                x = uf[x]
+            return x
+
+        adjacency: List[List[Tuple[int, int]]] = [[] for _ in range(n)]
+        for arc in basis.real_arcs:
+            if not 0 <= arc < m:
+                return False
+            u, v = self.tail[arc], self.head[arc]
+            ru, rv = find(u), find(v)
+            if ru == rv:
+                return False  # cycle: not a forest
+            uf[ru] = rv
+            adjacency[u].append((v, arc))
+            adjacency[v].append((u, arc))
+
+        cmax = max([abs(c) for c in self.cost], default=0)
+        self.big_m = 1 + (n + 1) * max(1, cmax)
+        self.art_tail = []
+        self.art_head = []
+        for v in range(n):
+            # Default orientation (as in a cold start); attachment
+            # points below re-orient their own artificial arc freely.
+            if self.demand[v] >= 0:
+                self.art_tail.append(root)
+                self.art_head.append(v)
+            else:
+                self.art_tail.append(v)
+                self.art_head.append(root)
+        self.flow = {}
+        self.parent = [root] * (n + 1)
+        self.parent[root] = -1
+        self.parent_arc = [-1] * (n + 1)
+        self.depth = [0] * (n + 1)
+        self.children = [set() for _ in range(n + 1)]
+        self.in_tree = bytearray(m + n)
+
+        # Each forest component hangs off the root via the artificial
+        # arc of its smallest node (deterministic attachment).
+        representative: Dict[int, int] = {}
+        for v in range(n):
+            r = find(v)
+            if r not in representative or v < representative[r]:
+                representative[r] = v
+        queue = deque()
+        visited = [False] * n
+        for rep in sorted(representative.values()):
+            self.parent[rep] = root
+            self.parent_arc[rep] = m + rep
+            self.children[root].add(rep)
+            self.in_tree[m + rep] = 1
+            visited[rep] = True
+            queue.append(rep)
+        order: List[int] = []
+        while queue:
+            u = queue.popleft()
+            order.append(u)
+            for v, arc in adjacency[u]:
+                if not visited[v]:
+                    visited[v] = True
+                    self.parent[v] = u
+                    self.parent_arc[v] = arc
+                    self.children[u].add(v)
+                    self.in_tree[arc] = 1
+                    queue.append(v)
+        if len(order) != n:  # pragma: no cover - forest check implies this
+            return False
+
+        # Bottom-up primal repair: push each subtree's demand sum
+        # through its parent arc, detaching subtrees whose real parent
+        # arc points the wrong way.
+        subtree = list(self.demand) + [0]
+        for v in reversed(order):
+            s = subtree[v]
+            arc = self.parent_arc[v]
+            if arc < m:
+                p = self.parent[v]
+                value = s if self.head[arc] == v else -s
+                if value < 0:
+                    # Wrong orientation for the new demands: re-route
+                    # this subtree through v's artificial arc.
+                    self.children[p].discard(v)
+                    self.in_tree[arc] = 0
+                    art = m + v
+                    if s >= 0:
+                        self.art_tail[v], self.art_head[v] = root, v
+                    else:
+                        self.art_tail[v], self.art_head[v] = v, root
+                    self.parent[v] = root
+                    self.parent_arc[v] = art
+                    self.children[root].add(v)
+                    self.in_tree[art] = 1
+                    self.flow[art] = s if s >= 0 else -s
+                else:
+                    self.flow[arc] = value
+                    subtree[p] += s
+            else:
+                a = arc - m
+                if s >= 0:
+                    self.art_tail[a], self.art_head[a] = root, v
+                    self.flow[arc] = s
+                else:
+                    self.art_tail[a], self.art_head[a] = v, root
+                    self.flow[arc] = -s
+
+        # Depth and potentials from the final tree: every tree arc
+        # gets reduced cost zero.
+        self.pot = [0] * (n + 1)
+        stack = [root]
+        while stack:
+            u = stack.pop()
+            for v in self.children[u]:
+                arc = self.parent_arc[v]
+                cost = self.cost[arc] if arc < m else self.big_m
+                if self._arc_tail(arc) == u:
+                    self.pot[v] = self.pot[u] - cost
+                else:
+                    self.pot[v] = self.pot[u] + cost
+                self.depth[v] = self.depth[u] + 1
+                stack.append(v)
+        return True
+
+    def export_basis(self) -> WarmBasis:
+        """The current basis' real arcs (call after :meth:`solve`)."""
+        return WarmBasis(
+            n=self.n,
+            m=self.m,
+            real_arcs=tuple(
+                arc for arc in range(self.m) if self.in_tree[arc]
+            ),
+        )
 
     # -- arc helpers --------------------------------------------------------
 
@@ -276,9 +483,15 @@ class NetworkSimplex:
         reduced cost non-negative once they leave the basis.
         """
         m = self.m
+        # Local bindings: the pricing scan is the solver's hottest
+        # loop, and attribute lookups dominate it otherwise.
+        tail, head = self.tail, self.head
+        cost, pot, in_tree = self.cost, self.pot, self.in_tree
         if bland:
             for arc in range(m):
-                if arc not in self.in_tree and self._reduced_cost(arc) < 0:
+                if not in_tree[arc] and (
+                    cost[arc] - pot[tail[arc]] + pot[head[arc]] < 0
+                ):
                     return arc
             return None
         if self.pivot_chaos is not None:
@@ -288,7 +501,9 @@ class NetworkSimplex:
             eligible = [
                 arc
                 for arc in range(m)
-                if arc not in self.in_tree and self._reduced_cost(arc) < 0
+                if not in_tree[arc] and (
+                    cost[arc] - pot[tail[arc]] + pot[head[arc]] < 0
+                )
             ]
             if not eligible:
                 return None
@@ -302,9 +517,9 @@ class NetworkSimplex:
             upper = min(block, m - scanned)
             for offset in range(upper):
                 arc = (position + offset) % m
-                if arc in self.in_tree:
+                if in_tree[arc]:
                     continue
-                rc = self._reduced_cost(arc)
+                rc = cost[arc] - pot[tail[arc]] + pot[head[arc]]
                 if rc < best_rc:
                     best_rc = rc
                     best = arc
@@ -394,7 +609,7 @@ class NetworkSimplex:
 
         # Detach the T2 subtree rooted at `child`.
         self.children[parent].discard(child)
-        self.in_tree.discard(leaving)
+        self.in_tree[leaving] = 0
         self.flow.pop(leaving, None)
 
         # Entering arc endpoints: exactly one lies in T2.
@@ -427,7 +642,7 @@ class NetworkSimplex:
         self.parent[attach_t2] = attach_t1
         self.parent_arc[attach_t2] = entering
         self.children[attach_t1].add(attach_t2)
-        self.in_tree.add(entering)
+        self.in_tree[entering] = 1
         self.flow.setdefault(entering, 0)
 
         # Refresh depth and potentials of the re-rooted subtree.
@@ -455,7 +670,7 @@ class NetworkSimplex:
     def _extract(self, iterations: int) -> SimplexResult:
         for v in range(self.n):
             arc_id = self.m + v
-            if arc_id in self.in_tree and self.flow.get(arc_id, 0) != 0:
+            if self.in_tree[arc_id] and self.flow.get(arc_id, 0) != 0:
                 raise InfeasibleFlowError(
                     f"artificial arc at node {self.node_names[v]!r} "
                     f"carries flow — demands unreachable"

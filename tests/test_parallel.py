@@ -206,14 +206,38 @@ class TestPlanCells:
         base = [t for t in tasks if t.method == "base"]
         grar = [t for t in tasks if t.method == "grar"]
         assert {t.overhead for t in base} == {1.0}
-        assert {t.overhead for t in grar} == {c for _, c in LEVELS}
+        assert all(t.sweep == (1.0,) for t in base)
+        # G-RAR ships one task per circuit covering the whole sweep, so
+        # the worker's compiled problem and warm basis are reused.
+        assert len(grar) == len(suite.circuit_names)
+        sweep = tuple(c for _, c in LEVELS)
+        assert all(t.sweep == sweep for t in grar)
         assert len({t.key for t in tasks}) == len(tasks)
+
+    def test_grar_tasks_split_per_cell_with_cache_off(self, library):
+        suite = _tiny_suite(library)
+        suite.retime_cache = False
+        tasks = plan_cells(suite, methods=("grar",), error_rates=False)
+        assert all(len(t.sweep) == 1 for t in tasks)
+        assert {t.overhead for t in tasks} == {c for _, c in LEVELS}
 
     def test_memoized_cells_are_skipped(self, library):
         suite = _tiny_suite(library)
+        suite.retime_cache = False  # memoize 1.0 only, not the sweep
         suite.outcome("alpha", "grar", 1.0)
+        suite.retime_cache = True
         tasks = plan_cells(suite, methods=("grar",), error_rates=False)
-        assert ("alpha", "grar", 1.0) not in {t.key for t in tasks}
+        covered = {
+            (t.circuit, t.method, c) for t in tasks for c in t.sweep
+        }
+        assert ("alpha", "grar", 1.0) not in covered
+        # The rest of alpha's sweep is still planned, minus the
+        # memoized point.
+        alpha = [t for t in tasks if t.circuit == "alpha"]
+        assert len(alpha) == 1
+        assert alpha[0].sweep == tuple(
+            c for _, c in LEVELS if c != 1.0
+        )
 
     def test_resumed_record_still_owes_its_error_rate(self, library):
         suite = _tiny_suite(library)

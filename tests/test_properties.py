@@ -96,17 +96,15 @@ class TestRetimingInvariants:
         circuit = make_circuit(seed)
         grar = grar_retime(circuit, overhead=1.0)
         # The resiliency-unaware *min-area* objective is an upper
-        # bound for the G-RAR objective on the same graph family.
+        # bound for the G-RAR objective: any min-area labeling extends
+        # to the credit graph with only non-positive credit terms.
+        # (Realized latch_units can tie-break either way — masters may
+        # be non-EDL without an earned credit — so only the objectives
+        # are comparable exactly.)
         regions = compute_regions(circuit)
         graph = build_retiming_graph(circuit, regions)
-        from repro.retime.grar import placement_from_r
-
         plain = solve_retiming_flow(graph)
-        min_area = placement_from_r(circuit, plain.r_values)
-        cost_plain = circuit.sequential_cost(min_area, overhead=1.0)
-        assert (
-            grar.cost.latch_units <= cost_plain.latch_units + 1e-9
-        )
+        assert grar.objective <= plain.objective
 
     @given(SEEDS)
     @SLOW

@@ -10,6 +10,7 @@ from repro.retime.simplex import (
     InfeasibleFlowError,
     NetworkSimplex,
     UnboundedFlowError,
+    WarmBasis,
 )
 
 
@@ -160,3 +161,106 @@ class TestAgainstNetworkx:
             graph.add_edge(tail, head, weight=cost)
         expected = nx.min_cost_flow_cost(graph)
         assert result.objective == expected
+
+
+TRANSPORT = dict(
+    nodes=["s1", "s2", "c1", "c2", "c3"],
+    arcs=[
+        ("s1", "c1", 4), ("s1", "c2", 2), ("s1", "c3", 5),
+        ("s2", "c1", 3), ("s2", "c2", 6), ("s2", "c3", 1),
+    ],
+)
+
+
+def _transport_demands(scale=1):
+    return {
+        "s1": Fraction(-30 * scale), "s2": Fraction(-20 * scale),
+        "c1": Fraction(15 * scale), "c2": Fraction(20 * scale),
+        "c3": Fraction(15 * scale),
+    }
+
+
+class TestWarmStart:
+    def test_identical_demands_take_zero_pivots(self):
+        cold = NetworkSimplex(**TRANSPORT, demands=_transport_demands())
+        first = cold.solve()
+        basis = cold.export_basis()
+        assert basis is not None and basis.real_arcs
+
+        warm = NetworkSimplex(
+            **TRANSPORT, demands=_transport_demands(), warm_basis=basis
+        )
+        second = warm.solve()
+        assert warm.basis_reused
+        assert second.iterations == 0
+        assert second.objective == first.objective
+        assert second.flows == first.flows
+        assert warm.verify(second) == []
+
+    def test_changed_demands_repair_to_the_same_optimum(self):
+        cold = NetworkSimplex(**TRANSPORT, demands=_transport_demands())
+        cold.solve()
+        basis = cold.export_basis()
+
+        warm = NetworkSimplex(
+            **TRANSPORT, demands=_transport_demands(scale=2),
+            warm_basis=basis,
+        )
+        result = warm.solve()
+        assert warm.basis_reused
+        assert warm.verify(result) == []
+        oracle = solve(
+            TRANSPORT["nodes"], TRANSPORT["arcs"], _transport_demands(2)
+        )
+        assert result.objective == oracle.objective
+
+    def test_corrupt_basis_falls_back_to_cold_start(self):
+        # A cycle (not a forest) must be rejected, not trusted.
+        bad = WarmBasis(n=5, m=6, real_arcs=(0, 1, 3, 4))
+        warm = NetworkSimplex(
+            **TRANSPORT, demands=_transport_demands(), warm_basis=bad
+        )
+        result = warm.solve()
+        assert not warm.basis_reused
+        assert warm.verify(result) == []
+        oracle = solve(
+            TRANSPORT["nodes"], TRANSPORT["arcs"], _transport_demands()
+        )
+        assert result.objective == oracle.objective
+
+    def test_mismatched_shape_falls_back(self):
+        stale = WarmBasis(n=3, m=2, real_arcs=(0,))
+        warm = NetworkSimplex(
+            **TRANSPORT, demands=_transport_demands(), warm_basis=stale
+        )
+        result = warm.solve()
+        assert not warm.basis_reused
+        assert warm.verify(result) == []
+
+    @given(flow_instances(), flow_instances())
+    @settings(max_examples=40, deadline=None)
+    def test_warm_start_matches_cold_on_random_pairs(self, first, second):
+        """Solve A cold, then reuse A's basis on B's demands whenever
+        the instances share a shape — the warm objective must equal the
+        cold one."""
+        nodes, arcs, demands_a = first
+        _, _, demands_b = second
+        if len(demands_b) != len(demands_a):
+            demands_b = demands_a
+        try:
+            cold_a = solve(nodes, arcs, demands_a)
+        except InfeasibleFlowError:
+            return
+        simplex_a = NetworkSimplex(nodes, arcs, demands_a)
+        simplex_a.solve()
+        basis = simplex_a.export_basis()
+
+        demands_b = dict(zip(nodes, demands_b.values()))
+        try:
+            oracle = solve(nodes, arcs, demands_b)
+        except InfeasibleFlowError:
+            return
+        warm = NetworkSimplex(nodes, arcs, demands_b, warm_basis=basis)
+        result = warm.solve()
+        assert warm.verify(result) == []
+        assert result.objective == oracle.objective

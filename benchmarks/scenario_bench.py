@@ -1,0 +1,182 @@
+"""Benchmark the scenario engine: matrix throughput + parity evidence.
+
+Runs the corners × upsets × policies matrix on a selection of suite
+circuits, once per simulation backend, verifies the two reports are
+byte-identical (the parity oracle under injection), measures the
+graceful-degradation machinery (chaos corners must settle as typed
+FAILED entries without sinking the sweep), and writes a
+``repro-bench/1`` artifact:
+
+    python benchmarks/scenario_bench.py
+    python benchmarks/scenario_bench.py --circuits s1196 s1488 \
+        --cycles 96 --jobs 4 --out benchmarks/results/BENCH_scenarios.json
+
+The committed artifact ``benchmarks/results/BENCH_scenarios.json`` is
+the PR's acceptance evidence: identical cross-backend reports, a
+selective-vs-G-RAR comparison, and a degraded matrix that still
+completed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import Any, Dict, List
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import metrics  # noqa: E402
+from repro.cells import default_library  # noqa: E402
+from repro.circuits import build_benchmark  # noqa: E402
+from repro.scenarios.engine import run_scenarios  # noqa: E402
+
+DEFAULT_CIRCUITS = ["s1196", "s1488"]
+CORNERS = ("nominal", "slow", "sigma")
+UPSETS = ("none", "seu", "glitch")
+POLICIES = ("grar", "selective")
+
+
+def _policy_summary(report) -> Dict[str, Any]:
+    """Mean error rate and area per hardening policy (the headline
+    selective-vs-G-RAR comparison)."""
+    summary: Dict[str, Any] = {}
+    for policy in POLICIES:
+        entries = [
+            e for e in report.ok_entries if e["policy"] == policy
+        ]
+        if not entries:
+            continue
+        summary[policy] = {
+            "n": len(entries),
+            "mean_error_rate_pct": round(
+                sum(e["error_rate"] for e in entries) / len(entries), 4
+            ),
+            "mean_total_area": round(
+                sum(e["total_area"] for e in entries) / len(entries), 2
+            ),
+            "mean_n_edl": round(
+                sum(e["n_edl"] for e in entries) / len(entries), 2
+            ),
+        }
+    return summary
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--circuits", nargs="*", default=DEFAULT_CIRCUITS)
+    parser.add_argument("--cycles", type=int, default=96)
+    parser.add_argument("--jobs", type=int, default=2)
+    parser.add_argument("--seed", type=int, default=2017)
+    parser.add_argument(
+        "--out",
+        default=str(
+            Path(__file__).resolve().parent
+            / "results"
+            / "BENCH_scenarios.json"
+        ),
+    )
+    args = parser.parse_args(argv)
+
+    library = default_library()
+    pairs = [
+        (name, build_benchmark(name, library)) for name in args.circuits
+    ]
+
+    collector = metrics.MetricsCollector()
+    with metrics.collect_into(collector):
+        walls: Dict[str, float] = {}
+        texts: Dict[str, str] = {}
+        report = None
+        for backend in ("event", "compiled"):
+            started = time.perf_counter()
+            report = run_scenarios(
+                pairs,
+                library,
+                corners=CORNERS,
+                upsets=UPSETS,
+                policies=POLICIES,
+                cycles=args.cycles,
+                seed=args.seed,
+                sim_backend=backend,
+                jobs=args.jobs,
+            )
+            walls[backend] = time.perf_counter() - started
+            texts[backend] = report.to_json()
+            print(
+                f"{backend:>8s}: {len(report.ok_entries)} ok, "
+                f"{len(report.failed_entries)} failed "
+                f"in {walls[backend]:.2f}s"
+            )
+        if texts["event"] != texts["compiled"]:
+            raise AssertionError(
+                "backends disagree — the injection plans are NOT "
+                "honoured bit-identically; do not trust this sweep"
+            )
+
+        # Degradation drill: chaos corners must settle, not sink.
+        started = time.perf_counter()
+        chaos = run_scenarios(
+            pairs[:1],
+            library,
+            corners=("nominal", "chaos-crash", "chaos-hang"),
+            upsets=("none",),
+            policies=("grar",),
+            cycles=args.cycles,
+            seed=args.seed,
+            jobs=args.jobs,
+            deadline_s=10.0,
+            hang_s=120.0,
+        )
+        chaos_wall = time.perf_counter() - started
+        kinds = sorted(
+            {e["failure_kind"] for e in chaos.failed_entries}
+        )
+        if kinds != ["crash", "deadline"]:
+            raise AssertionError(
+                f"degradation drill produced kinds {kinds}, expected "
+                f"['crash', 'deadline']"
+            )
+        if not chaos.ok_entries:
+            raise AssertionError("degradation drill lost the ok entry")
+        print(
+            f"   chaos: {len(chaos.ok_entries)} ok, "
+            f"{len(chaos.failed_entries)} typed FAILED "
+            f"({', '.join(kinds)}) in {chaos_wall:.2f}s"
+        )
+
+    scenarios_per_sec = {
+        backend: round(len(report.entries) / wall, 3)
+        for backend, wall in walls.items()
+    }
+    bench = metrics.bench_report(
+        collector,
+        kind="scenarios",
+        circuits=list(args.circuits),
+        corners=list(CORNERS),
+        upsets=list(UPSETS),
+        policies=list(POLICIES),
+        cycles=args.cycles,
+        seed=args.seed,
+        jobs=args.jobs,
+        n_entries=len(report.entries),
+        n_ok=len(report.ok_entries),
+        n_failed=len(report.failed_entries),
+        identical_reports=True,
+        scenarios_per_sec=scenarios_per_sec,
+        policy_summary=_policy_summary(report),
+        chaos_drill={
+            "n_ok": len(chaos.ok_entries),
+            "n_failed": len(chaos.failed_entries),
+            "failure_kinds": kinds,
+            "wall_s": round(chaos_wall, 3),
+        },
+    )
+    metrics.write_bench(args.out, bench)
+    print(f"\nartifact: {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

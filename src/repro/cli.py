@@ -10,6 +10,10 @@ Commands
     Regenerate the paper's tables on a circuit selection.
 ``example``
     Print the Fig. 4 worked example.
+``scenarios``
+    Sweep circuits × variation corners × upset models × hardening
+    policies with graceful degradation: failing scenarios settle as
+    typed FAILED report entries and the sweep continues.
 
 Every failure maps to a distinct nonzero exit code so shell pipelines
 and CI can tell failure classes apart without parsing stderr:
@@ -243,6 +247,113 @@ def _cmd_tables(args: argparse.Namespace) -> int:
     return 0
 
 
+def _scenario_netlists(names: List[str], library) -> List[tuple]:
+    """Resolve CLI circuit names to (name, netlist) pairs.
+
+    ``fig4`` maps to the paper's worked example; everything else goes
+    through the benchmark generator.
+    """
+    pairs = []
+    for name in names:
+        if name == "fig4":
+            from repro.circuits.fig4 import fig4_netlist
+
+            pairs.append((name, fig4_netlist()))
+        else:
+            pairs.append((name, build_benchmark(name, library)))
+    return pairs
+
+
+def _cmd_scenarios(args: argparse.Namespace) -> int:
+    from repro.scenarios.engine import run_scenarios
+
+    if args.overhead < 0:
+        raise ValueError("--overhead must be non-negative")
+    if not 0.0 <= args.harden_fraction <= 1.0:
+        raise ValueError("--harden-fraction must be in [0, 1]")
+    if args.deadline is not None and args.deadline <= 0:
+        raise ValueError("--deadline must be positive")
+    library = default_library()
+    pairs = _scenario_netlists(args.circuits, library)
+    collector = metrics.MetricsCollector()
+    started = time.perf_counter()
+    with metrics.collect_into(collector):
+        report = run_scenarios(
+            pairs,
+            library,
+            corners=args.corners,
+            upsets=args.upsets,
+            policies=args.policy,
+            overhead=args.overhead,
+            cycles=args.cycles,
+            seed=args.seed,
+            sim_backend=args.sim_backend,
+            guard=None if args.guard == "off" else args.guard,
+            jobs=max(1, args.jobs),
+            deadline_s=args.deadline,
+            memo_path=args.memo,
+            retry_failed=args.retry_failed,
+            harden_fraction=args.harden_fraction,
+        )
+    header = (
+        f"{'circuit':>8s} {'corner':>11s} {'upset':>9s} {'policy':>9s} "
+        f"{'status':>7s} {'err%':>6s} {'edl':>4s} {'area':>9s}"
+    )
+    print(header)
+    for entry in report.entries:
+        if entry["status"] == "ok":
+            print(
+                f"{entry['circuit']:>8s} {entry['corner']:>11s} "
+                f"{entry['upset']:>9s} {entry['policy']:>9s} "
+                f"{'ok':>7s} {entry['error_rate']:6.2f} "
+                f"{entry['n_edl']:4d} {entry['total_area']:9.2f}"
+            )
+        else:
+            print(
+                f"{entry['circuit']:>8s} {entry['corner']:>11s} "
+                f"{entry['upset']:>9s} {entry['policy']:>9s} "
+                f"{'FAILED':>7s} [{entry['failure_kind']}"
+                f" x{entry['attempts']}] {entry['message']}"
+            )
+    n_ok = len(report.ok_entries)
+    n_failed = len(report.failed_entries)
+    print(
+        f"\n{n_ok} ok, {n_failed} failed "
+        f"(seed={report.seed}, backend={report.sim_backend})"
+    )
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(report.to_json())
+        print(f"report written to {args.out}", file=sys.stderr)
+    if args.bench_out:
+        bench = metrics.bench_report(
+            collector,
+            kind="scenarios",
+            circuits=list(args.circuits),
+            corners=list(args.corners),
+            upsets=list(args.upsets),
+            policies=list(args.policy),
+            seed=args.seed,
+            jobs=max(1, args.jobs),
+            sim_backend=args.sim_backend,
+            wall_s=round(time.perf_counter() - started, 6),
+            n_ok=n_ok,
+            n_failed=n_failed,
+        )
+        metrics.write_bench(args.bench_out, bench)
+        print(f"bench report written to {args.bench_out}", file=sys.stderr)
+    if n_failed and args.json_errors:
+        print(
+            json.dumps({"failed": report.failed_entries}),
+            file=sys.stderr,
+        )
+    # Graceful-degradation contract: isolated failures are part of a
+    # successful sweep.  Only an entirely-failed matrix is an error.
+    if report.entries and not n_ok:
+        return EXIT_PARTIAL
+    return 0
+
+
 def _cmd_example(_: argparse.Namespace) -> int:
     import runpy
     from pathlib import Path
@@ -369,6 +480,98 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser(
         "example", help="walk the paper's Fig. 4 worked example"
     ).set_defaults(func=_cmd_example)
+
+    from repro.scenarios.engine import (
+        CORNERS,
+        DEFAULT_CORNERS,
+        DEFAULT_POLICIES,
+        DEFAULT_UPSETS,
+        POLICIES,
+        UPSETS,
+    )
+
+    scen = sub.add_parser(
+        "scenarios",
+        help="sweep corners × upsets × hardening policies",
+        description="Soft-error & variation scenario sweep with"
+        " graceful degradation: scenarios that crash, hang past the"
+        " deadline, or die settle as typed FAILED entries and the"
+        " sweep continues.  The exit code is 0 whenever at least one"
+        " scenario succeeded.",
+    )
+    scen.add_argument(
+        "circuits", nargs="+",
+        help="benchmark names (e.g. s1196), or 'fig4'",
+    )
+    scen.add_argument(
+        "--corners", nargs="+", default=list(DEFAULT_CORNERS),
+        choices=sorted(CORNERS), metavar="CORNER",
+        help=f"variation corners (default: {' '.join(DEFAULT_CORNERS)};"
+             f" all: {' '.join(sorted(CORNERS))})",
+    )
+    scen.add_argument(
+        "--upsets", nargs="+", default=list(DEFAULT_UPSETS),
+        choices=sorted(UPSETS), metavar="UPSET",
+        help=f"upset models (default: {' '.join(DEFAULT_UPSETS)};"
+             f" all: {' '.join(sorted(UPSETS))})",
+    )
+    scen.add_argument(
+        "--policy", nargs="+", default=list(DEFAULT_POLICIES),
+        choices=list(POLICIES), metavar="POLICY",
+        help=f"hardening policies (default: {' '.join(DEFAULT_POLICIES)};"
+             f" all: {' '.join(POLICIES)})",
+    )
+    scen.add_argument(
+        "--seed", type=int, default=2017,
+        help="base seed; each scenario derives its own stream from"
+             " a hash of (seed, circuit, corner, upset, policy)",
+    )
+    scen.add_argument("--overhead", type=float, default=1.0)
+    scen.add_argument("--cycles", type=int, default=96)
+    scen.add_argument(
+        "--harden-fraction", type=float, default=0.5,
+        help="fraction of fragile endpoints the 'selective' policy"
+             " hardens with EDL masters",
+    )
+    scen.add_argument(
+        "--sim-backend", default="compiled",
+        choices=["event", "compiled"],
+        help="simulation backend; both honour injection plans"
+             " bit-identically and render the identical report file",
+    )
+    scen.add_argument(
+        "--guard", default="off", choices=["off", "warn", "strict"],
+        help="inter-stage invariant checkpoints inside each scenario",
+    )
+    scen.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for the scenario matrix",
+    )
+    scen.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="per-scenario wall-clock deadline; an overrunning worker"
+             " is killed, retried once, then recorded as"
+             " FAILED(kind=deadline)",
+    )
+    scen.add_argument(
+        "--memo", default=None, metavar="PATH",
+        help="resumable JSON memo: settled scenarios are checkpointed"
+             " as they land and skipped on re-runs",
+    )
+    scen.add_argument(
+        "--retry-failed", action="store_true",
+        help="re-attempt scenarios the memo recorded as FAILED",
+    )
+    scen.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write the scenario report as JSON (byte-identical"
+             " across backends and repeated invocations)",
+    )
+    scen.add_argument(
+        "--bench-out", default=None, metavar="PATH",
+        help="write a BENCH_scenarios.json artifact",
+    )
+    scen.set_defaults(func=_cmd_scenarios)
     return parser
 
 

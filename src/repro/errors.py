@@ -149,6 +149,15 @@ class InvariantError(FlowStageError):
     """An inter-stage guard checkpoint found a violated invariant."""
 
 
+class DeadlineError(FlowStageError):
+    """A unit of work blew its wall-clock deadline and was killed.
+
+    Raised (or recorded as a typed FAILED entry, under isolation) by
+    the parallel harness when a worker process exceeds its per-task
+    deadline; ``payload`` carries the deadline and the attempt count.
+    """
+
+
 #: Exception classes that must never be swallowed by isolation layers.
 _PASSTHROUGH = (KeyboardInterrupt, SystemExit, GeneratorExit)
 

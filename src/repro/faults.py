@@ -17,7 +17,12 @@ never an unhandled crash and never a silently wrong table:
   sum to zero (infeasible solver input);
 * :func:`chaotic_simplex` — a :class:`NetworkSimplex` whose pivot
   selection is randomized, to exercise the anti-cycling and fallback
-  machinery.
+  machinery;
+* :func:`seu_capture_plan` / :func:`glitch_pulse_plan` /
+  :func:`delay_corner_plan` — *simulation-level* physical upsets
+  (particle-strike state flips, transient pulses, variation corners)
+  as :class:`~repro.scenarios.injectors.InjectionPlan` schedules both
+  simulation backends honour identically.
 
 All randomness is injected through explicit :class:`random.Random`
 instances so property tests stay reproducible.
@@ -34,7 +39,10 @@ from repro.clocks import ClockScheme
 from repro.netlist.netlist import Gate, Netlist
 from repro.sta.delay_models import PathBasedCalculator
 
-#: Fault kinds the injectors cover, for parametrized tests.
+#: Fault kinds the injectors cover, for parametrized tests.  The last
+#: three are *simulation-level* physical upsets (scenario-engine
+#: injectors from :mod:`repro.scenarios.injectors`) rather than
+#: flow-input corruptions.
 FAULT_KINDS = (
     "corrupt-net",
     "truncated-bench",
@@ -43,6 +51,9 @@ FAULT_KINDS = (
     "infeasible-cut",
     "unbalanced-demands",
     "pivot-chaos",
+    "seu-capture",
+    "glitch-pulse",
+    "delay-corner",
 )
 
 
@@ -203,6 +214,95 @@ def unbalanced_demands(
     # Force a nonzero sum no matter what was drawn.
     demands[first] += 1 - total
     return demands
+
+
+def seu_capture_plan(
+    netlist: Netlist,
+    cycles: int,
+    rng: random.Random,
+    placement=None,
+    rate: float = 0.25,
+):
+    """An :class:`InjectionPlan` of SEU capture-state bit flips.
+
+    Returns ``(plan, report)``; the report's detail carries the exact
+    flip schedule so tests can assert the corruption landed.
+    """
+    from repro.scenarios.injectors import InjectionPlan, latch_state_keys
+
+    targets = sorted(g.name for g in netlist.flops())
+    if placement is not None:
+        targets += latch_state_keys(netlist, placement)
+    if not targets:
+        raise ValueError("netlist has no state to flip")
+    flips: Dict[int, Tuple[str, ...]] = {}
+    for cycle in range(cycles):
+        if rng.random() < rate:
+            flips[cycle] = (targets[rng.randrange(len(targets))],)
+    plan = InjectionPlan(seu_flips=flips, label="seu-capture")
+    return plan, FaultReport(
+        kind="seu-capture",
+        target=netlist.name,
+        detail={"n_flips": sum(len(v) for v in flips.values()),
+                "flips": {c: list(v) for c, v in flips.items()}},
+    )
+
+
+def glitch_pulse_plan(
+    netlist: Netlist,
+    scheme: ClockScheme,
+    cycles: int,
+    rng: random.Random,
+    rate: float = 0.25,
+    width: Optional[float] = None,
+):
+    """An :class:`InjectionPlan` of transient glitch pulses on nets."""
+    from repro.scenarios.injectors import GlitchSpec, InjectionPlan
+
+    nets = sorted(g.name for g in netlist.comb_gates())
+    if not nets:
+        raise ValueError("netlist has no comb nets to glitch")
+    pulse_width = (
+        width if width is not None else scheme.resiliency_window * 0.5
+    )
+    glitches: Dict[int, Tuple[GlitchSpec, ...]] = {}
+    for cycle in range(cycles):
+        if rng.random() < rate:
+            glitches[cycle] = (
+                GlitchSpec(
+                    net=nets[rng.randrange(len(nets))],
+                    start=rng.uniform(0.0, scheme.period),
+                    width=pulse_width,
+                ),
+            )
+    plan = InjectionPlan(glitches=glitches, label="glitch-pulse")
+    return plan, FaultReport(
+        kind="glitch-pulse",
+        target=netlist.name,
+        detail={"n_glitches": sum(len(v) for v in glitches.values()),
+                "width": pulse_width},
+    )
+
+
+def delay_corner_plan(
+    netlist: Netlist,
+    rng: random.Random,
+    systematic: float = 1.1,
+    sigma: float = 0.05,
+):
+    """An :class:`InjectionPlan` of per-gate delay-variation factors."""
+    from repro.scenarios.injectors import InjectionPlan, delay_corner_scale
+
+    scale = delay_corner_scale(
+        netlist, systematic=systematic, sigma=sigma, rng=rng
+    )
+    plan = InjectionPlan(delay_scale=scale, label="delay-corner")
+    return plan, FaultReport(
+        kind="delay-corner",
+        target=netlist.name,
+        detail={"systematic": systematic, "sigma": sigma,
+                "n_gates": len(scale)},
+    )
 
 
 def chaotic_simplex(

@@ -53,6 +53,7 @@ METHODS = (
     "rvl",
     "rvl-noswap",
     "rvl-movable",
+    "selective",
 )
 
 
@@ -149,8 +150,15 @@ def run_flow(
     guard: Union[Guard, GuardPolicy, str, None] = None,
     sta_mode: str = "incremental",
     retime_cache: bool = True,
+    harden_fraction: float = 0.5,
 ) -> FlowOutcome:
     """Run one method end to end on a private copy of ``netlist``.
+
+    ``harden_fraction`` applies to the ``"selective"`` method only:
+    the fraction of the fragility-ranked window-violating masters
+    committed to error-detecting latches (the rest are sped out of
+    the window, falling back to EDL only when sizing cannot rescue
+    them).
 
     ``sta_mode`` selects between event-driven cone-scoped timing
     updates (``"incremental"``, the default) and whole-engine
@@ -270,6 +278,58 @@ def run_flow(
                         solver_policy=solver_policy,
                         retime_cache=retime_cache,
                     )
+        elif method == "selective":
+            # Fragility-ranked selective hardening: retime for minimum
+            # latch cost first, rank masters by slack under that
+            # placement, commit the top ``harden_fraction`` most
+            # fragile to EDL, speed the remaining fragile paths out of
+            # the window, then re-retime so slave positions exploit
+            # both decisions.  The committed set is the method's typed
+            # promise (like a VL typing), not a timing observation.
+            from repro.scenarios.fragility import (
+                rank_fragility,
+                select_hardened,
+            )
+
+            retiming = base_retime(
+                circuit, overhead,
+                solver=solver, conflict_policy=conflict_policy,
+                solver_policy=solver_policy,
+                retime_cache=retime_cache,
+            )
+            fragility = rank_fragility(circuit, retiming.placement)
+            hardened = select_hardened(
+                fragility, harden_fraction, threshold=path_target
+            )
+            _apply_master_cells(circuit, hardened)
+            if sizing:
+                mandatory = {
+                    entry.endpoint: path_target
+                    for entry in fragility.entries
+                    if entry.endpoint not in hardened
+                    and entry.arrival > path_target + EPS
+                }
+                if mandatory:
+                    speed_paths(circuit, mandatory)
+            retiming = base_retime(
+                circuit, overhead,
+                solver=solver, conflict_policy=conflict_policy,
+                solver_policy=solver_policy,
+                retime_cache=retime_cache,
+            )
+            retiming.method = "selective"
+            retiming.edl_endpoints = set(hardened)
+            retiming.cost = SequentialCost(
+                n_slaves=retiming.placement.slave_count(circuit.netlist),
+                n_masters=len(circuit.endpoint_names),
+                n_edl=len(hardened),
+                overhead=overhead,
+                latch_area=circuit.latch_area,
+            )
+            retiming.notes["harden_fraction"] = str(harden_fraction)
+            retiming.notes["fragile_candidates"] = str(
+                len(fragility.fragile(path_target))
+            )
         elif method in ("evl", "nvl", "rvl", "rvl-noswap", "rvl-movable"):
             variant = VlVariant(method.split("-")[0])
             types = initial_types(circuit, variant)
@@ -382,6 +442,12 @@ def _is_vl(retiming: RetimingResult) -> bool:
     return retiming.method.split("-")[0] in ("evl", "nvl", "rvl")
 
 
+def _is_typed(retiming: RetimingResult) -> bool:
+    """Methods whose EDL set is a committed *typing* (VL variants and
+    selective hardening) rather than a post-hoc timing observation."""
+    return _is_vl(retiming) or retiming.method == "selective"
+
+
 def _incremental_compile(
     circuit: TwoPhaseCircuit,
     retiming: RetimingResult,
@@ -399,7 +465,7 @@ def _incremental_compile(
     window_close = circuit.scheme.window_close
     placement = retiming.placement
 
-    if _is_vl(retiming):
+    if _is_typed(retiming):
         non_edl = set(circuit.endpoint_names) - retiming.edl_endpoints
     elif method == "base":
         non_edl = set()
@@ -463,7 +529,7 @@ def _recovery_limits(
     """
     window_open = circuit.scheme.window_open
     window_close = circuit.scheme.window_close
-    if _is_vl(retiming):
+    if _is_typed(retiming):
         return {
             name: (
                 window_close
@@ -505,7 +571,9 @@ def _finalize(
             if arrival > window_open + EPS
         }
 
-    keep_types = _is_vl(retiming) and retiming.method.endswith("-noswap")
+    keep_types = (
+        _is_vl(retiming) and retiming.method.endswith("-noswap")
+    ) or retiming.method == "selective"
     typed = set(retiming.edl_endpoints) if keep_types else set()
     # Swapping in error-detecting masters adds D-pin load, which can
     # push further borderline masters into the window; iterate to a

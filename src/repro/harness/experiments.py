@@ -196,7 +196,8 @@ class ExperimentSuite:
     #: (G-RAR variants are genuinely c-dependent: credits and rescue
     #: budgets scale with the overhead.)
     C_INDEPENDENT = frozenset(
-        {"base", "evl", "nvl", "rvl", "rvl-noswap", "rvl-movable"}
+        {"base", "evl", "nvl", "rvl", "rvl-noswap", "rvl-movable",
+         "selective"}
     )
 
     #: c-dependent G-RAR variants: each overhead is a fresh solve, but

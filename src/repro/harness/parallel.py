@@ -37,16 +37,29 @@ Design points:
 
 from __future__ import annotations
 
+import multiprocessing
 import time
+from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from dataclasses import dataclass
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from multiprocessing.connection import wait as connection_wait
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro import errors as errors_mod
 from repro import metrics
 from repro.cells.library import Library
 from repro.clocks import ClockScheme
-from repro.errors import ReproError, stage_scope
+from repro.errors import DeadlineError, ReproError, stage_scope
 from repro.flows import run_flow
 from repro.harness.experiments import (
     ExperimentSuite,
@@ -399,12 +412,290 @@ def _merge_result(suite: ExperimentSuite, result: CellResult) -> None:
             )
 
 
+# -- deadline-enforcing task runner ------------------------------------------
+
+#: Failure kinds worth a second attempt: a killed-at-deadline or dead
+#: worker may have been a transient resource blip; a worker that
+#: *reported* an exception is deterministic and retrying cannot help.
+RETRYABLE_KINDS = frozenset({"deadline", "worker-death"})
+
+
+@dataclass
+class TaskFailure:
+    """Typed outcome of a task that could not produce a result."""
+
+    #: ``"deadline"`` (killed at the per-task deadline),
+    #: ``"worker-death"`` (process died without reporting), or
+    #: ``"crash"`` (the worker reported an exception).
+    kind: str
+    message: str
+    attempts: int
+    wall_s: float = 0.0
+    #: structured ``ReproError`` dict when the worker reported one.
+    error: Optional[Dict[str, Any]] = None
+    error_type: Optional[str] = None
+    payload: Dict[str, Any] = field(default_factory=dict)
+
+    def to_error(self) -> ReproError:
+        """The failure as a raisable typed error."""
+        cls = DeadlineError if self.kind == "deadline" else (
+            getattr(errors_mod, self.error_type or "", None)
+            or errors_mod.FlowStageError
+        )
+        if not (isinstance(cls, type) and issubclass(cls, ReproError)):
+            cls = errors_mod.FlowStageError
+        exc = cls(self.message)
+        exc.stage = (self.error or {}).get("stage") or "parallel"
+        exc.circuit = (self.error or {}).get("circuit")
+        exc.payload = dict((self.error or {}).get("payload") or {})
+        exc.payload.update(self.payload)
+        exc.payload["failure_kind"] = self.kind
+        exc.payload["attempts"] = self.attempts
+        return exc
+
+
+def _deadline_entry(conn, worker, task) -> None:
+    """Child-process entry: run the task, report over the pipe."""
+    try:
+        result = worker(task)
+    except (KeyboardInterrupt, SystemExit):
+        raise
+    except ReproError as exc:
+        conn.send(
+            (
+                "crash",
+                {
+                    "message": str(exc),
+                    "error": exc.to_dict(),
+                    "type": type(exc).__name__,
+                },
+            )
+        )
+    except BaseException as exc:  # noqa: BLE001 - crosses a process
+        conn.send(
+            (
+                "crash",
+                {
+                    "message": f"{type(exc).__name__}: {exc}",
+                    "error": None,
+                    "type": type(exc).__name__,
+                },
+            )
+        )
+    else:
+        conn.send(("ok", result))
+    finally:
+        conn.close()
+
+
+def run_tasks_with_deadline(
+    worker: Callable[[Any], Any],
+    tasks: Sequence[Any],
+    jobs: int = 1,
+    deadline_s: Optional[float] = None,
+    backoff_s: float = 0.25,
+    retry_kinds: frozenset = RETRYABLE_KINDS,
+    max_attempts: int = 2,
+    on_result: Optional[Callable[[int, Any], None]] = None,
+) -> List[Union[Any, TaskFailure]]:
+    """Run ``worker(task)`` per task in killable worker processes.
+
+    The executor-based path cannot enforce per-task deadlines — a
+    :class:`~concurrent.futures.ProcessPoolExecutor` has no way to
+    kill one hung worker without tearing down the pool — so this
+    runner owns its processes: one :class:`multiprocessing.Process`
+    plus pipe per attempt, at most ``jobs`` live at a time.  A task
+    that exceeds ``deadline_s`` is terminated and recorded as
+    ``TaskFailure(kind="deadline")``; a worker that dies without
+    reporting (OOM kill, segfault) as ``kind="worker-death"``.  Kinds
+    in ``retry_kinds`` are retried after a ``backoff_s`` pause (scaled
+    by the attempt number) up to ``max_attempts`` total attempts;
+    reported exceptions (``kind="crash"``) are deterministic and fail
+    immediately.
+
+    Returns one entry per task, in task order: the worker's return
+    value or a :class:`TaskFailure`.  The caller decides whether a
+    failure degrades gracefully (a FAILED report entry) or raises
+    (:meth:`TaskFailure.to_error`).
+
+    ``on_result`` is invoked as ``on_result(task_index, outcome)`` the
+    moment each task settles (result or final failure, not interim
+    retries) — the hook resumable sweeps use to checkpoint their memo
+    while later tasks are still running.
+    """
+    if deadline_s is not None and deadline_s <= 0:
+        raise ValueError("deadline_s must be positive")
+    jobs = max(1, int(jobs))
+    results: List[Union[Any, TaskFailure]] = [None] * len(tasks)
+    queue = deque((index, 1) for index in range(len(tasks)))
+    #: retries waiting out their backoff: (not_before, index, attempt).
+    delayed: List[Tuple[float, int, int]] = []
+    #: conn -> (task index, attempt, process, start time).
+    live: Dict[Any, Tuple[int, int, Any, float]] = {}
+
+    def settle(index: int, attempt: int, failure: TaskFailure) -> None:
+        if failure.kind in retry_kinds and attempt < max_attempts:
+            metrics.count("parallel.deadline.retries")
+            delayed.append(
+                (time.monotonic() + backoff_s * attempt, index, attempt + 1)
+            )
+        else:
+            results[index] = failure
+            if on_result is not None:
+                on_result(index, failure)
+
+    while queue or delayed or live:
+        now = time.monotonic()
+        still_delayed: List[Tuple[float, int, int]] = []
+        for not_before, index, attempt in delayed:
+            if now >= not_before:
+                queue.append((index, attempt))
+            else:
+                still_delayed.append((not_before, index, attempt))
+        delayed = still_delayed
+
+        while queue and len(live) < jobs:
+            index, attempt = queue.popleft()
+            parent_conn, child_conn = multiprocessing.Pipe(duplex=False)
+            process = multiprocessing.Process(
+                target=_deadline_entry,
+                args=(child_conn, worker, tasks[index]),
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()
+            live[parent_conn] = (index, attempt, process, time.monotonic())
+
+        if not live:
+            if delayed:
+                pause = min(nb for nb, _, _ in delayed) - time.monotonic()
+                if pause > 0:
+                    time.sleep(pause)
+            continue
+
+        now = time.monotonic()
+        bounds: List[float] = [nb - now for nb, _, _ in delayed]
+        if deadline_s is not None:
+            bounds.extend(
+                started + deadline_s - now
+                for (_, _, _, started) in live.values()
+            )
+        timeout = max(0.0, min(bounds)) if bounds else None
+        ready = connection_wait(list(live), timeout=timeout)
+
+        for conn in ready:
+            index, attempt, process, started = live.pop(conn)
+            wall_s = time.monotonic() - started
+            try:
+                tag, body = conn.recv()
+            except EOFError:
+                process.join()
+                settle(
+                    index,
+                    attempt,
+                    TaskFailure(
+                        kind="worker-death",
+                        message=(
+                            f"worker died without reporting a result "
+                            f"(exit code {process.exitcode})"
+                        ),
+                        attempts=attempt,
+                        wall_s=wall_s,
+                        payload={"exitcode": process.exitcode},
+                    ),
+                )
+            else:
+                process.join()
+                if tag == "ok":
+                    results[index] = body
+                    if on_result is not None:
+                        on_result(index, body)
+                else:
+                    settle(
+                        index,
+                        attempt,
+                        TaskFailure(
+                            kind="crash",
+                            message=body["message"],
+                            attempts=attempt,
+                            wall_s=wall_s,
+                            error=body.get("error"),
+                            error_type=body.get("type"),
+                        ),
+                    )
+            finally:
+                conn.close()
+
+        if deadline_s is not None:
+            ready_set = set(ready)
+            now = time.monotonic()
+            for conn in [
+                c
+                for c, (_, _, _, started) in live.items()
+                if c not in ready_set and now - started > deadline_s
+            ]:
+                index, attempt, process, started = live.pop(conn)
+                process.terminate()
+                process.join(5.0)
+                if process.is_alive():  # pragma: no cover - stuck kill
+                    process.kill()
+                    process.join()
+                conn.close()
+                metrics.count("parallel.deadline.kills")
+                settle(
+                    index,
+                    attempt,
+                    TaskFailure(
+                        kind="deadline",
+                        message=(
+                            f"task exceeded its {deadline_s:g}s deadline "
+                            f"and was killed (attempt {attempt})"
+                        ),
+                        attempts=attempt,
+                        wall_s=time.monotonic() - started,
+                        payload={"deadline_s": deadline_s},
+                    ),
+                )
+    return results
+
+
+def _failure_results(
+    task: CellTask, failure: TaskFailure
+) -> List[CellResult]:
+    """One FAILED :class:`CellResult` per sweep point of a dead task."""
+    error = dict(failure.error or {})
+    error.setdefault("message", failure.message)
+    error.setdefault("stage", "parallel")
+    payload = dict(error.get("payload") or {})
+    payload.update(failure.payload)
+    payload["failure_kind"] = failure.kind
+    payload["attempts"] = failure.attempts
+    error["payload"] = payload
+    if failure.kind == "deadline":
+        error_type = "DeadlineError"
+    else:
+        error_type = failure.error_type or "FlowStageError"
+    error.setdefault("type", error_type)
+    return [
+        CellResult(
+            circuit=task.circuit,
+            method=task.method,
+            overhead=overhead,
+            error=error,
+            error_type=error_type,
+            wall_s=failure.wall_s if position == 0 else 0.0,
+        )
+        for position, overhead in enumerate(task.sweep)
+    ]
+
+
 def run_suite_parallel(
     suite: ExperimentSuite,
     jobs: int,
     methods: Optional[Sequence[str]] = None,
     error_rates: bool = True,
     checkpoint_every: Optional[int] = None,
+    deadline_s: Optional[float] = None,
 ) -> Dict[str, Any]:
     """Prewarm the suite's memo with ``jobs`` worker processes.
 
@@ -413,6 +704,12 @@ def run_suite_parallel(
     from the warm memo.  With ``jobs <= 1`` the cells run inline
     through the same code path, which is what the parity test
     exploits.
+
+    ``deadline_s`` enforces a per-task wall-clock deadline through
+    :func:`run_tasks_with_deadline` (even at ``jobs=1``, since only a
+    separate process can be killed): a hung cell is terminated,
+    retried once, and on the second miss recorded as a
+    ``FailedOutcome`` whose error is a :class:`DeadlineError` dict.
 
     Failures honour ``suite.isolate``: isolated suites record
     ``FailedOutcome`` cells, strict suites re-raise the first worker
@@ -428,7 +725,16 @@ def run_suite_parallel(
     )
     started = time.perf_counter()
     results: List[CellResult] = []
-    if jobs <= 1 or len(tasks) <= 1:
+    if deadline_s is not None:
+        raw = run_tasks_with_deadline(
+            run_cell, tasks, jobs=jobs, deadline_s=deadline_s
+        )
+        for task, item in zip(tasks, raw):
+            if isinstance(item, TaskFailure):
+                results.extend(_failure_results(task, item))
+            else:
+                results.extend(item)
+    elif jobs <= 1 or len(tasks) <= 1:
         for task in tasks:
             results.extend(run_cell(task))
     else:

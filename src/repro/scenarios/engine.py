@@ -1,0 +1,513 @@
+"""Scenario matrix engine: circuits × corners × upsets × policies.
+
+One scenario is a full flow-plus-simulation run: harden the circuit
+under a *policy* (uniform-``c`` G-RAR, fragility-ranked selective
+hardening, or the base flow), then measure its error rate under a
+delay-variation *corner* and an *upset model* (SEU capture flips and
+glitch pulses from :mod:`repro.scenarios.injectors`).  The engine
+sweeps the whole matrix through the deadline-enforcing parallel
+runner with **graceful degradation as the contract**:
+
+* a scenario that crashes, trips a strict guard, or exceeds the
+  per-scenario deadline becomes a typed FAILED entry in the report —
+  the sweep never aborts;
+* transient worker deaths (and deadline kills) are retried once with
+  backoff before being recorded;
+* every settled scenario is checkpointed to a resumable JSON memo the
+  moment it lands, so a killed sweep continues corner-by-corner.
+
+Two corners exist purely to drill that contract: ``chaos-crash``
+raises deterministically and ``chaos-hang`` sleeps past any deadline.
+They are failure-injection fixtures, not physics.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import (
+    Any,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro import metrics
+from repro.cells.library import Library
+from repro.clocks import ClockScheme
+from repro.errors import FlowStageError, ReproError
+from repro.flows.run import METHODS, prepare_circuit, run_flow
+from repro.netlist.netlist import Netlist
+from repro.scenarios.injectors import build_injection_plan
+from repro.sim import SIM_BACKENDS, estimate_error_rate
+
+#: Scenario report / memo schema versions.
+REPORT_SCHEMA = "repro-scenarios/1"
+MEMO_SCHEMA = "repro-scenarios-memo/1"
+
+
+@dataclass(frozen=True)
+class CornerSpec:
+    """One delay-variation corner (or a chaos drill)."""
+
+    name: str
+    #: systematic delay multiplier (voltage/temperature shift).
+    systematic: float = 1.0
+    #: per-gate random sigma (process variation).
+    sigma: float = 0.0
+    #: ``"crash"`` / ``"hang"`` turn the corner into a deliberate
+    #: degradation drill; ``""`` is a real corner.
+    chaos: str = ""
+
+
+@dataclass(frozen=True)
+class UpsetSpec:
+    """One upset model: per-cycle strike probabilities."""
+
+    name: str
+    seu_rate: float = 0.0
+    glitch_rate: float = 0.0
+
+
+#: The named variation corners the CLI exposes.
+CORNERS: Dict[str, CornerSpec] = {
+    spec.name: spec
+    for spec in (
+        CornerSpec("nominal"),
+        CornerSpec("slow", systematic=1.05),
+        CornerSpec("fast", systematic=0.95),
+        CornerSpec("sigma", sigma=0.04),
+        CornerSpec("slow-sigma", systematic=1.05, sigma=0.04),
+        CornerSpec("chaos-crash", chaos="crash"),
+        CornerSpec("chaos-hang", chaos="hang"),
+    )
+}
+
+#: The named upset models.
+UPSETS: Dict[str, UpsetSpec] = {
+    spec.name: spec
+    for spec in (
+        UpsetSpec("none"),
+        UpsetSpec("seu", seu_rate=0.05),
+        UpsetSpec("glitch", glitch_rate=0.05),
+        UpsetSpec("seu-glitch", seu_rate=0.05, glitch_rate=0.05),
+    )
+}
+
+#: Hardening policies a scenario can run (a subset of flow METHODS).
+POLICIES: Tuple[str, ...] = ("base", "grar", "selective")
+
+DEFAULT_CORNERS: Tuple[str, ...] = ("nominal", "slow", "sigma")
+DEFAULT_UPSETS: Tuple[str, ...] = ("none", "seu", "glitch")
+DEFAULT_POLICIES: Tuple[str, ...] = ("grar", "selective")
+
+
+def scenario_seed(
+    base_seed: int, circuit: str, corner: str, upset: str, policy: str
+) -> int:
+    """The derived per-scenario seed.
+
+    One CLI ``--seed`` fans out to every scenario through a hash of
+    the scenario's identity, so (a) two identical invocations are
+    byte-identical and (b) no two scenarios share vector/injection
+    streams by accident.
+    """
+    text = "\x1f".join([str(base_seed), circuit, corner, upset, policy])
+    digest = hashlib.sha256(text.encode("utf-8")).hexdigest()
+    return int(digest[:8], 16)
+
+
+@dataclass(frozen=True)
+class ScenarioTask:
+    """One scenario, fully provisioned for a worker process."""
+
+    circuit: str
+    corner: CornerSpec
+    upset: UpsetSpec
+    policy: str
+    netlist: Netlist
+    scheme: ClockScheme
+    library: Library
+    overhead: float
+    cycles: int
+    seed: int
+    sim_backend: str = "compiled"
+    guard: Optional[str] = None
+    harden_fraction: float = 0.5
+    #: how long a chaos-hang corner sleeps (tests shorten it).
+    hang_s: float = 3600.0
+
+    @property
+    def key(self) -> Tuple[str, str, str, str]:
+        return (self.circuit, self.corner.name, self.upset.name, self.policy)
+
+
+def memo_key(key: Tuple[str, str, str, str]) -> str:
+    """The JSON-array memo key of a scenario."""
+    return json.dumps(list(key))
+
+
+def run_scenario(task: ScenarioTask) -> Dict[str, Any]:
+    """Worker entry: one flow + injected simulation, as a report entry.
+
+    Raises :class:`ReproError` on failure — the parallel runner turns
+    that into a typed :class:`~repro.harness.parallel.TaskFailure`.
+    """
+    corner = task.corner
+    if corner.chaos == "crash":
+        raise FlowStageError(
+            f"chaos corner {corner.name!r}: deliberate failure drill",
+            stage="scenario",
+            circuit=task.circuit,
+        )
+    if corner.chaos == "hang":
+        time.sleep(task.hang_s)
+
+    outcome = run_flow(
+        task.policy,
+        task.netlist,
+        task.library,
+        task.overhead,
+        scheme=task.scheme,
+        guard=task.guard,
+        harden_fraction=task.harden_fraction,
+    )
+    plan = build_injection_plan(
+        outcome.circuit.netlist,
+        task.scheme,
+        cycles=task.cycles,
+        seed=task.seed,
+        systematic=corner.systematic,
+        sigma=corner.sigma,
+        seu_rate=task.upset.seu_rate,
+        glitch_rate=task.upset.glitch_rate,
+        placement=outcome.retiming.placement,
+        label=f"{corner.name}/{task.upset.name}",
+    )
+    report = estimate_error_rate(
+        outcome.circuit,
+        outcome.retiming.placement,
+        outcome.edl_endpoints,
+        cycles=task.cycles,
+        seed=task.seed,
+        backend=task.sim_backend,
+        injection=plan,
+    )
+    state_blob = json.dumps(
+        [
+            sorted(report.final_flop_state.items()),
+            sorted(report.final_latch_state.items()),
+        ],
+        separators=(",", ":"),
+    )
+    return {
+        "circuit": task.circuit,
+        "corner": corner.name,
+        "upset": task.upset.name,
+        "policy": task.policy,
+        "status": "ok",
+        "seed": task.seed,
+        "cycles": task.cycles,
+        "error_cycles": report.error_cycles,
+        "error_rate": report.error_rate,
+        "non_edl_violations": report.non_edl_violations,
+        "n_edl": outcome.n_edl,
+        "n_slaves": outcome.n_slaves,
+        "total_area": outcome.total_area,
+        "injected": plan.counts(),
+        "state_digest": hashlib.sha256(
+            state_blob.encode("utf-8")
+        ).hexdigest()[:16],
+    }
+
+
+def _failed_entry(
+    key: Tuple[str, str, str, str],
+    kind: str,
+    message: str,
+    attempts: int = 1,
+    stage: Optional[str] = None,
+    error: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """A typed FAILED report entry (the degradation contract's unit)."""
+    circuit, corner, upset, policy = key
+    return {
+        "circuit": circuit,
+        "corner": corner,
+        "upset": upset,
+        "policy": policy,
+        "status": "failed",
+        "failure_kind": kind,
+        "attempts": attempts,
+        "stage": stage or (error or {}).get("stage"),
+        "message": message,
+        "error": error,
+    }
+
+
+@dataclass
+class ScenarioReport:
+    """The settled scenario matrix."""
+
+    seed: int
+    overhead: float
+    cycles: int
+    sim_backend: str
+    harden_fraction: float
+    entries: List[Dict[str, Any]] = field(default_factory=list)
+    #: wall clock of this invocation; deliberately not serialized so
+    #: identical invocations produce byte-identical report files.
+    wall_s: float = 0.0
+
+    @property
+    def ok_entries(self) -> List[Dict[str, Any]]:
+        return [e for e in self.entries if e["status"] == "ok"]
+
+    @property
+    def failed_entries(self) -> List[Dict[str, Any]]:
+        return [e for e in self.entries if e["status"] != "ok"]
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON form: run parameters plus sorted entries.
+
+        The producing backend and wall-clock times are excluded on
+        purpose: both backends must render the identical file (CI
+        diffs them), and identical invocations must be byte-identical.
+        """
+        return {
+            "schema": REPORT_SCHEMA,
+            "seed": self.seed,
+            "overhead": self.overhead,
+            "cycles": self.cycles,
+            "harden_fraction": self.harden_fraction,
+            "n_ok": len(self.ok_entries),
+            "n_failed": len(self.failed_entries),
+            "entries": self.entries,
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+
+
+def _memo_config(
+    seed: int,
+    overhead: float,
+    cycles: int,
+    sim_backend: str,
+    harden_fraction: float,
+) -> Dict[str, Any]:
+    return {
+        "seed": seed,
+        "overhead": overhead,
+        "cycles": cycles,
+        "sim_backend": sim_backend,
+        "harden_fraction": harden_fraction,
+    }
+
+
+def _load_memo(
+    path: Path, config: Dict[str, Any]
+) -> Dict[str, Dict[str, Any]]:
+    """Entries of a resumable memo, or empty on absence/mismatch."""
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return {}
+    if (
+        data.get("schema") != MEMO_SCHEMA
+        or data.get("config") != config
+    ):
+        return {}
+    entries = data.get("entries")
+    return dict(entries) if isinstance(entries, dict) else {}
+
+
+def _write_memo(
+    path: Path,
+    config: Dict[str, Any],
+    entries: Mapping[str, Dict[str, Any]],
+) -> None:
+    """Atomic memo write (tmp + replace: a killed sweep never leaves a
+    torn file behind)."""
+    payload = {
+        "schema": MEMO_SCHEMA,
+        "config": config,
+        "entries": dict(sorted(entries.items())),
+    }
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    os.replace(tmp, path)
+
+
+def run_scenarios(
+    circuits: Union[Mapping[str, Netlist], Sequence[Tuple[str, Netlist]]],
+    library: Library,
+    corners: Sequence[str] = DEFAULT_CORNERS,
+    upsets: Sequence[str] = DEFAULT_UPSETS,
+    policies: Sequence[str] = DEFAULT_POLICIES,
+    overhead: float = 1.0,
+    cycles: int = 96,
+    seed: int = 2017,
+    sim_backend: str = "compiled",
+    guard: Optional[str] = None,
+    jobs: int = 1,
+    deadline_s: Optional[float] = None,
+    memo_path: Optional[Union[str, Path]] = None,
+    retry_failed: bool = False,
+    harden_fraction: float = 0.5,
+    hang_s: float = 3600.0,
+) -> ScenarioReport:
+    """Run the scenario matrix; degrade gracefully, resume from memo.
+
+    Every (circuit, corner, upset, policy) combination runs once in a
+    killable worker process; crashes, strict-guard trips, worker
+    deaths, and deadline misses settle as typed FAILED entries (with
+    one retry for the transient kinds) and the sweep continues.  With
+    ``memo_path``, completed scenarios are checkpointed as they land
+    and skipped on re-runs (``retry_failed`` re-attempts FAILED ones).
+    """
+    if sim_backend not in SIM_BACKENDS:
+        raise ValueError(
+            f"unknown simulation backend {sim_backend!r}; "
+            f"expected one of {SIM_BACKENDS}"
+        )
+    for name, known, label in (
+        (corners, CORNERS, "corner"),
+        (upsets, UPSETS, "upset model"),
+    ):
+        unknown = [n for n in name if n not in known]
+        if unknown:
+            raise ValueError(
+                f"unknown {label}(s) {unknown}; "
+                f"choose from {sorted(known)}"
+            )
+    bad_policies = [p for p in policies if p not in METHODS]
+    if bad_policies:
+        raise ValueError(
+            f"unknown polic(ies) {bad_policies}; choose from {METHODS}"
+        )
+
+    if isinstance(circuits, Mapping):
+        pairs = sorted(circuits.items())
+    else:
+        pairs = list(circuits)
+
+    config = _memo_config(
+        seed, overhead, cycles, sim_backend, harden_fraction
+    )
+    memo = Path(memo_path) if memo_path is not None else None
+    entries: Dict[str, Dict[str, Any]] = (
+        _load_memo(memo, config) if memo is not None else {}
+    )
+
+    started = time.perf_counter()
+    all_keys: List[Tuple[str, str, str, str]] = []
+    tasks: List[ScenarioTask] = []
+    for circuit_name, netlist in pairs:
+        try:
+            scheme, _ = prepare_circuit(netlist, library)
+        except (ReproError, ValueError, KeyError) as exc:
+            # A circuit that cannot even prepare degrades to FAILED
+            # entries across its whole sub-matrix.
+            for corner_name in corners:
+                for upset_name in upsets:
+                    for policy in policies:
+                        key = (circuit_name, corner_name, upset_name, policy)
+                        all_keys.append(key)
+                        entries[memo_key(key)] = _failed_entry(
+                            key,
+                            kind="crash",
+                            message=str(exc),
+                            stage="prepare",
+                            error=(
+                                exc.to_dict()
+                                if isinstance(exc, ReproError)
+                                else None
+                            ),
+                        )
+            continue
+        for corner_name in corners:
+            for upset_name in upsets:
+                for policy in policies:
+                    key = (circuit_name, corner_name, upset_name, policy)
+                    all_keys.append(key)
+                    existing = entries.get(memo_key(key))
+                    if existing is not None and (
+                        existing.get("status") == "ok" or not retry_failed
+                    ):
+                        metrics.count("scenarios.memo_hits")
+                        continue
+                    tasks.append(
+                        ScenarioTask(
+                            circuit=circuit_name,
+                            corner=CORNERS[corner_name],
+                            upset=UPSETS[upset_name],
+                            policy=policy,
+                            netlist=netlist,
+                            scheme=scheme,
+                            library=library,
+                            overhead=overhead,
+                            cycles=cycles,
+                            seed=scenario_seed(
+                                seed, circuit_name, corner_name,
+                                upset_name, policy,
+                            ),
+                            sim_backend=sim_backend,
+                            guard=guard,
+                            harden_fraction=harden_fraction,
+                            hang_s=hang_s,
+                        )
+                    )
+
+    def settle(index: int, outcome: Any) -> None:
+        task = tasks[index]
+        if isinstance(outcome, dict):
+            entry = outcome
+        else:
+            # A TaskFailure from the deadline runner.
+            entry = _failed_entry(
+                task.key,
+                kind=outcome.kind,
+                message=outcome.message,
+                attempts=outcome.attempts,
+                error=outcome.error,
+            )
+            metrics.count(f"scenarios.failed.{outcome.kind}")
+        entries[memo_key(task.key)] = entry
+        if memo is not None:
+            _write_memo(memo, config, entries)
+
+    if tasks:
+        # Import here: parallel imports experiments imports flows —
+        # a module-load cycle if pulled at the top.
+        from repro.harness.parallel import run_tasks_with_deadline
+
+        run_tasks_with_deadline(
+            run_scenario,
+            tasks,
+            jobs=jobs,
+            deadline_s=deadline_s,
+            on_result=settle,
+        )
+
+    report = ScenarioReport(
+        seed=seed,
+        overhead=overhead,
+        cycles=cycles,
+        sim_backend=sim_backend,
+        harden_fraction=harden_fraction,
+        entries=[entries[memo_key(key)] for key in sorted(set(all_keys))],
+        wall_s=time.perf_counter() - started,
+    )
+    metrics.count("scenarios.runs")
+    metrics.count("scenarios.entries", len(report.entries))
+    metrics.count("scenarios.failed", len(report.failed_entries))
+    return report

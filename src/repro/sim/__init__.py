@@ -13,6 +13,7 @@ from repro.sim.logicsim import (
     MAX_EVENTS_PER_NET,
     TimedSimulator,
     Waveform,
+    apply_glitches,
 )
 from repro.sim.kernel import CompiledSimulator
 from repro.sim.vectors import VectorSource, random_vectors
@@ -29,6 +30,7 @@ __all__ = [
     "CompiledSimulator",
     "TimedSimulator",
     "Waveform",
+    "apply_glitches",
     "VectorSource",
     "random_vectors",
     "ErrorRateReport",

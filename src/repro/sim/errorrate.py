@@ -21,13 +21,15 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Set
+from typing import Dict, Optional, Set
 
 from repro import metrics
 from repro.cells.edl import window_has_transition
+from repro.errors import SimulationError
 from repro.latches.placement import SlavePlacement
 from repro.latches.resilient import TwoPhaseCircuit
 from repro.netlist.netlist import GateType
+from repro.scenarios.injectors import InjectionPlan
 from repro.sim.logicsim import MAX_EVENTS_PER_NET, TimedSimulator
 from repro.sim.vectors import VectorSource
 
@@ -65,6 +67,44 @@ class ErrorRateReport:
         return 100.0 * self.error_cycles / self.cycles
 
 
+def _check_plan_targets(netlist, plan: InjectionPlan) -> None:
+    """Reject an injection plan naming nets/state the design lacks.
+
+    A silently-ignored injection target would make a scenario look
+    healthier than it is, so unknown names are a typed failure.
+    """
+    if plan.empty:
+        return
+    known_nets = {g.name for g in netlist.comb_gates()}
+    known_nets.update(g.name for g in netlist.sources())
+    flop_names = {g.name for g in netlist.flops()}
+    bad = sorted(
+        {
+            spec.net
+            for specs in plan.glitches.values()
+            for spec in specs
+            if spec.net not in known_nets
+        }
+    )
+    bad += sorted(
+        name for name in plan.delay_scale if name not in known_nets
+    )
+    bad += sorted(
+        {
+            target
+            for targets in plan.seu_flips.values()
+            for target in targets
+            if target not in flop_names
+            and not target.startswith("latch:")
+        }
+    )
+    if bad:
+        raise SimulationError(
+            f"injection plan names unknown targets: {bad[:8]}",
+            payload={"unknown_targets": bad, "plan": plan.label},
+        )
+
+
 def estimate_error_rate(
     circuit: TwoPhaseCircuit,
     placement: SlavePlacement,
@@ -74,8 +114,16 @@ def estimate_error_rate(
     toggle_probability: float = 0.5,
     backend: str = "compiled",
     max_events_per_net: int = MAX_EVENTS_PER_NET,
+    injection: Optional[InjectionPlan] = None,
 ) -> ErrorRateReport:
-    """Random-input error-rate simulation of a retimed design."""
+    """Random-input error-rate simulation of a retimed design.
+
+    ``injection`` perturbs the run with a resolved
+    :class:`~repro.scenarios.injectors.InjectionPlan` — delay-corner
+    scaling, per-cycle glitch pulses, and SEU capture-state flips.
+    Both backends honour the same plan identically (the bit-parity
+    contract extends to injected runs).
+    """
     if backend not in SIM_BACKENDS:
         raise ValueError(
             f"unknown simulation backend {backend!r}; "
@@ -85,24 +133,33 @@ def estimate_error_rate(
     scheme = circuit.scheme
     window_open = scheme.window_open
     window_close = scheme.window_close
+    plan = injection or InjectionPlan()
+    _check_plan_targets(netlist, plan)
 
     if backend == "compiled":
         from repro.sim.kernel import CompiledSimulator
 
         kernel = CompiledSimulator(
-            circuit, placement, max_events_per_net=max_events_per_net
+            circuit,
+            placement,
+            max_events_per_net=max_events_per_net,
+            delay_scale=plan.delay_scale,
         )
 
-        def run_cycle(launch, state):
-            return kernel.run_cycle(launch, state)
+        def run_cycle(launch, state, glitches):
+            return kernel.run_cycle(launch, state, glitches=glitches)
 
     else:
         simulator = TimedSimulator(
-            circuit, max_events_per_net=max_events_per_net
+            circuit,
+            max_events_per_net=max_events_per_net,
+            delay_scale=plan.delay_scale,
         )
 
-        def run_cycle(launch, state):
-            return simulator.run_cycle(launch, placement, state)
+        def run_cycle(launch, state, glitches):
+            return simulator.run_cycle(
+                launch, placement, state, glitches=glitches
+            )
 
     pi_names = [g.name for g in netlist.inputs()]
     source = VectorSource(pi_names, seed=seed, toggle_probability=toggle_probability)
@@ -121,11 +178,14 @@ def estimate_error_rate(
     latch_state: Dict[str, int] = {}
     flop_values: Dict[str, int] = {name: 0 for name, _ in flop_keys}
 
+    flop_names = {name for name, _ in flop_keys}
     started = time.perf_counter()
-    for _ in range(cycles):
+    for cycle in range(cycles):
         launch = dict(flop_values)
         launch.update(source.next_vector())
-        waves = run_cycle(launch, latch_state)
+        waves = run_cycle(
+            launch, latch_state, plan.glitches.get(cycle, ())
+        )
 
         cycle_error = False
         for name, wave_key in endpoint_keys:
@@ -150,6 +210,17 @@ def estimate_error_rate(
         # which would lose any transition borrowed past it.
         for name, wave_key in flop_keys:
             flop_values[name] = waves[wave_key].final
+
+        # SEU capture flips strike the carried-over state *after* this
+        # cycle's capture settles — a particle inverting the stored
+        # bit.  Applied to the shared state dicts, so both backends
+        # see the identical corruption by construction.
+        for target in plan.seu_flips.get(cycle, ()):
+            if target in flop_names:
+                flop_values[target] = 1 - flop_values[target]
+            else:
+                latch_state[target] = 1 - latch_state.get(target, 0)
+            metrics.count("sim.inject.seu_flips")
     wall_s = time.perf_counter() - started
     report.final_flop_state = dict(flop_values)
     report.final_latch_state = dict(latch_state)
@@ -158,4 +229,9 @@ def estimate_error_rate(
     metrics.count(f"sim.backend.{backend}")
     metrics.count("sim.cycles", cycles)
     metrics.count("sim.wall_s", wall_s)
+    if not plan.empty:
+        counts = plan.counts()
+        metrics.count("sim.inject.runs")
+        metrics.count("sim.inject.glitches", counts["glitches"])
+        metrics.count("sim.inject.scaled_gates", counts["scaled_gates"])
     return report

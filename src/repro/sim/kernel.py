@@ -39,13 +39,14 @@ per suite circuit and placement.
 from __future__ import annotations
 
 from bisect import bisect_right
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.cells.cell import CombCell
 from repro.errors import NetlistError
 from repro.latches.placement import HOST, SlavePlacement
 from repro.latches.resilient import TwoPhaseCircuit
 from repro.netlist.netlist import GateType
+from repro.scenarios.injectors import GlitchSpec, glitch_events
 from repro.sim.logicsim import (
     MAX_EVENTS_PER_NET,
     Waveform,
@@ -68,6 +69,18 @@ _Wave = Tuple[int, List[float], List[int]]
 _EMPTY: Tuple = ()
 
 
+def _glitched(
+    wave: _Wave, specs: Optional[Sequence[GlitchSpec]]
+) -> _Wave:
+    """``wave`` with ``specs`` applied (no-op when ``specs`` is falsy)."""
+    if not specs:
+        return wave
+    initial, times, values = wave
+    for spec in specs:
+        times, values = glitch_events(initial, times, values, spec)
+    return (initial, times, values)
+
+
 class CompiledSimulator:
     """Compile-once, run-many backend for a fixed (circuit, placement).
 
@@ -85,12 +98,14 @@ class CompiledSimulator:
         circuit: TwoPhaseCircuit,
         placement: SlavePlacement,
         max_events_per_net: int = MAX_EVENTS_PER_NET,
+        delay_scale: Optional[Mapping[str, float]] = None,
     ) -> None:
         if circuit.library is None:
             raise ValueError("simulation needs a library")
         self.circuit = circuit
         self.placement = placement
         self.max_events_per_net = max_events_per_net
+        self.delay_scale = dict(delay_scale or {})
         netlist = circuit.netlist
         library = circuit.library
         calc = circuit.engine.calculator
@@ -158,21 +173,27 @@ class CompiledSimulator:
                      f"combinational"]
                 )
             load = calc.load(name)
-            delays = tuple(
-                (
-                    cell.arc(pin).delay_for_output_edge(
-                        rising_output=False,
-                        load=load,
-                        input_slew=calc.slew(fanin),
-                    ),
-                    cell.arc(pin).delay_for_output_edge(
-                        rising_output=True,
-                        load=load,
-                        input_slew=calc.slew(fanin),
-                    ),
+            # Delay-corner injection: scale every arc *before* the
+            # slowest-causing-arc max, the same multiplication the
+            # event backend applies per causing pin — the two stay
+            # bit-identical because x * f is deterministic and max
+            # commutes with multiplication by a positive factor.
+            factor = self.delay_scale.get(name)
+            pairs: List[Tuple[float, float]] = []
+            for pin, fanin in zip(cell.inputs, gate.fanins):
+                arc = cell.arc(pin)
+                slew = calc.slew(fanin)
+                fall = arc.delay_for_output_edge(
+                    rising_output=False, load=load, input_slew=slew
                 )
-                for pin, fanin in zip(cell.inputs, gate.fanins)
-            )
+                rise = arc.delay_for_output_edge(
+                    rising_output=True, load=load, input_slew=slew
+                )
+                if factor is not None:
+                    fall = fall * factor
+                    rise = rise * factor
+                pairs.append((fall, rise))
+            delays = tuple(pairs)
             n_inputs = len(gate.fanins)
             table: Optional[Tuple[int, ...]] = None
             if n_inputs <= _MAX_TABLE_INPUTS:
@@ -266,13 +287,23 @@ class CompiledSimulator:
         self,
         launch_values: Mapping[str, int],
         latch_state: Dict[str, int],
+        glitches: Sequence[GlitchSpec] = (),
     ) -> Dict[str, Waveform]:
-        """Evaluate one clock cycle; returns the endpoint waveforms."""
+        """Evaluate one clock cycle; returns the endpoint waveforms.
+
+        ``glitches`` strike net *wires* with the same semantics and at
+        the same point in the pipeline as the event backend: after the
+        net's own evaluation and held-state bookkeeping, before any
+        consumer (gate or cloud latch) reads it.
+        """
         slots: List[Optional[_Wave]] = [None] * self._n_slots
         state_get = latch_state.get
         launch_get = launch_values.get
         transform = self._latch_transform
         max_events = self.max_events_per_net
+        glitch_map: Dict[str, List[GlitchSpec]] = {}
+        for spec in glitches:
+            glitch_map.setdefault(spec.net, []).append(spec)
 
         for name, slot, src_key, host_key in self._sources:
             previous = state_get(src_key, 0)
@@ -286,7 +317,7 @@ class CompiledSimulator:
                 latch_state[host_key] = (
                     wave[2][-1] if wave[2] else wave[0]
                 )
-            slots[slot] = wave
+            slots[slot] = _glitched(wave, glitch_map.get(name))
             latch_state[src_key] = value
 
         for (
@@ -309,7 +340,10 @@ class CompiledSimulator:
                 initial, in_times, in_values = slots[in_slots[0]]
                 out_initial = table[initial]
                 if not in_times:
-                    slots[out_slot] = (out_initial, _EMPTY, _EMPTY)
+                    slots[out_slot] = _glitched(
+                        (out_initial, _EMPTY, _EMPTY),
+                        glitch_map.get(name),
+                    )
                     continue
                 check_event_cap(name, len(in_times), max_events)
                 pin_delay = delays[0]
@@ -329,7 +363,10 @@ class CompiledSimulator:
                 len_a = len(times_a)
                 len_b = len(times_b)
                 if not (len_a or len_b):
-                    slots[out_slot] = (out_initial, _EMPTY, _EMPTY)
+                    slots[out_slot] = _glitched(
+                        (out_initial, _EMPTY, _EMPTY),
+                        glitch_map.get(name),
+                    )
                     continue
                 delay_a, delay_b = delays
                 value_a = init_a
@@ -393,7 +430,10 @@ class CompiledSimulator:
                 else:
                     out_initial = evaluate(current)
                 if not n_events:
-                    slots[out_slot] = (out_initial, _EMPTY, _EMPTY)
+                    slots[out_slot] = _glitched(
+                        (out_initial, _EMPTY, _EMPTY),
+                        glitch_map.get(name),
+                    )
                     continue
                 candidate_times = sorted(times_set)
                 k = len(waves_in)
@@ -456,7 +496,10 @@ class CompiledSimulator:
                     out_times.append(when)
                     out_values.append(new_value)
                     value = new_value
-            slots[out_slot] = (out_initial, out_times, out_values)
+            slots[out_slot] = _glitched(
+                (out_initial, out_times, out_values),
+                glitch_map.get(name),
+            )
 
         results: Dict[str, Waveform] = {}
         for result_key, slot, op in self._endpoints:

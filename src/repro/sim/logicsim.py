@@ -17,7 +17,7 @@ be a real silicon failure and is reported).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro import metrics
 from repro.cells.cell import CombCell
@@ -25,6 +25,7 @@ from repro.errors import NetlistError, SimulationError
 from repro.latches.placement import HOST, SlavePlacement
 from repro.latches.resilient import TwoPhaseCircuit
 from repro.netlist.netlist import Gate, GateType
+from repro.scenarios.injectors import GlitchSpec, glitch_events
 
 
 @dataclass
@@ -127,13 +128,32 @@ def check_event_cap(gate_name: str, n_events: int, cap: int) -> None:
     )
 
 
+def apply_glitches(
+    wave: Waveform, specs: Sequence[GlitchSpec]
+) -> Waveform:
+    """The glitched form of ``wave`` (shared injector semantics)."""
+    times = [when for when, _ in wave.events]
+    values = [value for _, value in wave.events]
+    for spec in specs:
+        times, values = glitch_events(wave.initial, times, values, spec)
+    return Waveform(initial=wave.initial, events=list(zip(times, values)))
+
+
 class TimedSimulator:
-    """One-cycle waveform evaluation over the combinational cloud."""
+    """One-cycle waveform evaluation over the combinational cloud.
+
+    ``delay_scale`` is the delay-corner injection hook: per-gate arc
+    delay multipliers (see
+    :mod:`repro.scenarios.injectors`), applied to every causing-pin
+    arc before the slowest-arc max so the compiled backend's
+    premultiplied tables stay bit-identical.
+    """
 
     def __init__(
         self,
         circuit: TwoPhaseCircuit,
         max_events_per_net: int = MAX_EVENTS_PER_NET,
+        delay_scale: Optional[Mapping[str, float]] = None,
     ) -> None:
         if circuit.library is None:
             raise ValueError("simulation needs a library")
@@ -141,6 +161,7 @@ class TimedSimulator:
         self.netlist = circuit.netlist
         self.library = circuit.library
         self.max_events_per_net = max_events_per_net
+        self.delay_scale = dict(delay_scale or {})
         self._order = [
             name
             for name in self.netlist.topo_order()
@@ -170,6 +191,7 @@ class TimedSimulator:
             gate.name, len(candidate_times), self.max_events_per_net
         )
 
+        factor = self.delay_scale.get(gate.name)
         initial = cell.evaluate([w.initial for w in inputs])
         out = Waveform(initial=initial)
         for when in candidate_times:
@@ -189,6 +211,8 @@ class TimedSimulator:
                         load=load,
                         input_slew=calc.slew(fanin),
                     )
+                    if factor is not None:
+                        arc_delay = arc_delay * factor
                     delay = max(delay, arc_delay)
             _append_preempt(out.events, when + delay, new_value)
         return out.normalized()
@@ -226,6 +250,7 @@ class TimedSimulator:
         launch_values: Mapping[str, int],
         placement: SlavePlacement,
         latch_state: Dict[str, int],
+        glitches: Sequence[GlitchSpec] = (),
     ) -> Dict[str, Waveform]:
         """Evaluate one clock cycle.
 
@@ -235,12 +260,21 @@ class TimedSimulator:
         and update their held value in ``latch_state`` under key
         ``"latch:<driver>:<sink>"``.
 
+        ``glitches`` are this cycle's injected pulses; each strikes
+        the named net's *wire* (consumers and cloud latches see the
+        glitched waveform) after the net's own evaluation and held-
+        state bookkeeping — the stored latch value is not corrupted,
+        only the propagating signal (SEU state flips model the former).
+
         Returns the waveform of every net, with endpoint waveforms
         (flop D / PO) included under the endpoint name.
         """
         netlist = self.netlist
         waves: Dict[str, Waveform] = {}
         latched_out: Dict[Tuple[str, str], Waveform] = {}
+        glitch_map: Dict[str, List[GlitchSpec]] = {}
+        for spec in glitches:
+            glitch_map.setdefault(spec.net, []).append(spec)
 
         def edge_wave(driver: str, sink: str) -> Waveform:
             if placement.edge_weight_after(netlist, driver, sink) != 1:
@@ -262,13 +296,20 @@ class TimedSimulator:
                 held = latch_state.get(f"latch:{HOST}:{name}", 0)
                 wave = self._latch_transform(wave, held)
                 latch_state[f"latch:{HOST}:{name}"] = wave.final
+            specs = glitch_map.get(name)
+            if specs:
+                wave = apply_glitches(wave, specs)
             waves[name] = wave
             latch_state[f"src:{name}"] = value
 
         for name in self._order:
             gate = netlist[name]
             inputs = [edge_wave(driver, name) for driver in gate.fanins]
-            waves[name] = self._evaluate_gate(gate, inputs)
+            wave = self._evaluate_gate(gate, inputs)
+            specs = glitch_map.get(name)
+            if specs:
+                wave = apply_glitches(wave, specs)
+            waves[name] = wave
 
         results: Dict[str, Waveform] = dict(waves)
         for gate in netlist.endpoints():

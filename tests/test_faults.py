@@ -27,8 +27,11 @@ from repro.faults import (
     SabotagedCalculator,
     chaotic_simplex,
     corrupt_net,
+    delay_corner_plan,
+    glitch_pulse_plan,
     infeasible_scheme,
     sabotaged_circuit,
+    seu_capture_plan,
     truncate_bench,
     unbalanced_demands,
 )
@@ -261,6 +264,93 @@ class TestSuiteIsolation:
         assert isinstance(record, FlowRecord)
 
 
+class TestSimulationLevelFaults:
+    """The scenario-engine injectors, exposed as fault kinds: each
+    builder yields a deterministic plan both sim backends honour."""
+
+    def test_seu_capture_plan(self, small_netlist):
+        plan, report = seu_capture_plan(
+            small_netlist, cycles=64, rng=random.Random(3), rate=0.5
+        )
+        assert report.kind == "seu-capture"
+        assert report.detail["n_flips"] == sum(
+            len(v) for v in plan.seu_flips.values()
+        )
+        assert report.detail["n_flips"] > 0
+        flops = {g.name for g in small_netlist.flops()}
+        for targets in plan.seu_flips.values():
+            assert set(targets) <= flops
+
+    def test_seu_capture_plan_with_placement_reaches_latches(
+        self, small_netlist, library
+    ):
+        from repro.retime import base_retime
+
+        _, circuit = _prepared(small_netlist, library)
+        result = base_retime(circuit, overhead=1.0)
+        plan, _ = seu_capture_plan(
+            small_netlist, cycles=512, rng=random.Random(3),
+            placement=result.placement, rate=0.9,
+        )
+        targets = {t for v in plan.seu_flips.values() for t in v}
+        assert any(t.startswith("latch:") for t in targets)
+
+    def test_glitch_pulse_plan(self, small_netlist, library):
+        scheme, _ = _prepared(small_netlist, library)
+        plan, report = glitch_pulse_plan(
+            small_netlist, scheme, cycles=64,
+            rng=random.Random(5), rate=0.5,
+        )
+        assert report.kind == "glitch-pulse"
+        assert report.detail["n_glitches"] > 0
+        nets = {g.name for g in small_netlist.comb_gates()}
+        for specs in plan.glitches.values():
+            for spec in specs:
+                assert spec.net in nets
+                assert 0.0 <= spec.start <= scheme.period
+                assert spec.width == report.detail["width"]
+
+    def test_delay_corner_plan(self, small_netlist):
+        plan, report = delay_corner_plan(
+            small_netlist, random.Random(7), systematic=1.2, sigma=0.1
+        )
+        assert report.kind == "delay-corner"
+        assert report.detail["n_gates"] == len(plan.delay_scale)
+        assert set(plan.delay_scale) == {
+            g.name for g in small_netlist.comb_gates()
+        }
+        assert min(plan.delay_scale.values()) > 0
+
+    def test_plans_are_seed_deterministic(self, small_netlist, library):
+        scheme, _ = _prepared(small_netlist, library)
+        for build in (
+            lambda r: seu_capture_plan(small_netlist, 32, r)[0],
+            lambda r: glitch_pulse_plan(small_netlist, scheme, 32, r)[0],
+            lambda r: delay_corner_plan(small_netlist, r)[0],
+        ):
+            assert build(random.Random(9)) == build(random.Random(9))
+
+    def test_planned_faults_survive_simulation_typed(
+        self, small_netlist, library
+    ):
+        """A planned upset either simulates (degraded output) or
+        raises a typed SimulationError — never an unhandled crash."""
+        from repro.retime import base_retime
+        from repro.sim import estimate_error_rate
+
+        scheme, circuit = _prepared(small_netlist, library)
+        result = base_retime(circuit, overhead=1.0)
+        edl = circuit.edl_endpoints(result.placement)
+        plan, _ = glitch_pulse_plan(
+            small_netlist, scheme, cycles=24,
+            rng=random.Random(2), rate=0.5,
+        )
+        report = estimate_error_rate(
+            circuit, result.placement, edl, cycles=24, injection=plan
+        )
+        assert 0.0 <= report.error_rate <= 100.0
+
+
 def suite_failures(report):
     return report["failures"]
 
@@ -297,5 +387,8 @@ class TestCliErrors:
             "infeasible-cut",
             "unbalanced-demands",
             "pivot-chaos",
+            "seu-capture",
+            "glitch-pulse",
+            "delay-corner",
         }
         assert covered == set(FAULT_KINDS)

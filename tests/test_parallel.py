@@ -356,3 +356,149 @@ class TestCliParallel:
         assert report["parallel"]["n_cells"] == 2
         assert report["counters"]["flow.runs"] >= 2
         assert "retime" in report["stages"]
+
+
+# -- deadline-enforcing runner ----------------------------------------
+#
+# Worker functions live at module level so the spawn/fork pickling of
+# multiprocessing always resolves them.
+
+def _dl_ok(task):
+    return task * 10
+
+
+def _dl_crash(task):
+    from repro.errors import FlowStageError
+
+    if task == "boom":
+        raise FlowStageError("deliberate crash", stage="drill")
+    return task
+
+
+def _dl_hang(task):
+    import time as _time
+
+    if task == "hang":
+        _time.sleep(60.0)
+    return task
+
+
+def _dl_untyped(task):
+    raise RuntimeError("not a ReproError")
+
+
+class TestDeadlineRunner:
+    def test_plain_results_in_order(self):
+        from repro.harness.parallel import run_tasks_with_deadline
+
+        results = run_tasks_with_deadline(_dl_ok, [1, 2, 3], jobs=2)
+        assert results == [10, 20, 30]
+
+    def test_typed_crash_is_not_retried(self):
+        from repro.harness.parallel import (
+            TaskFailure,
+            run_tasks_with_deadline,
+        )
+
+        results = run_tasks_with_deadline(
+            _dl_crash, ["fine", "boom"], jobs=2
+        )
+        assert results[0] == "fine"
+        failure = results[1]
+        assert isinstance(failure, TaskFailure)
+        assert failure.kind == "crash"
+        assert failure.attempts == 1
+        assert failure.error["stage"] == "drill"
+        err = failure.to_error()
+        assert err.stage == "drill"
+        assert err.payload["failure_kind"] == "crash"
+
+    def test_untyped_crash_still_settles(self):
+        from repro.harness.parallel import (
+            TaskFailure,
+            run_tasks_with_deadline,
+        )
+
+        (failure,) = run_tasks_with_deadline(_dl_untyped, ["x"], jobs=1)
+        assert isinstance(failure, TaskFailure)
+        assert failure.kind == "crash"
+        assert "not a ReproError" in failure.message
+
+    def test_hang_killed_retried_then_failed(self):
+        import time as _time
+
+        from repro.errors import DeadlineError
+        from repro.harness.parallel import (
+            TaskFailure,
+            run_tasks_with_deadline,
+        )
+
+        started = _time.perf_counter()
+        results = run_tasks_with_deadline(
+            _dl_hang, ["ok", "hang"], jobs=2,
+            deadline_s=0.5, backoff_s=0.05,
+        )
+        wall = _time.perf_counter() - started
+        assert results[0] == "ok"
+        failure = results[1]
+        assert isinstance(failure, TaskFailure)
+        assert failure.kind == "deadline"
+        assert failure.attempts == 2  # killed, retried once, killed
+        assert isinstance(failure.to_error(), DeadlineError)
+        assert wall < 30.0  # the 60 s sleep never ran to completion
+
+    def test_on_result_sees_every_settlement(self):
+        from repro.harness.parallel import run_tasks_with_deadline
+
+        seen = {}
+        run_tasks_with_deadline(
+            _dl_crash, ["a", "boom", "b"], jobs=2,
+            on_result=lambda index, outcome: seen.setdefault(
+                index, outcome
+            ),
+        )
+        assert set(seen) == {0, 1, 2}
+        assert seen[0] == "a"
+        assert seen[2] == "b"
+
+    def test_deadline_validation(self):
+        from repro.harness.parallel import run_tasks_with_deadline
+
+        with pytest.raises(ValueError):
+            run_tasks_with_deadline(_dl_ok, [1], deadline_s=0.0)
+
+
+class TestSuiteDeadline:
+    def test_hung_cell_becomes_failed_result(self, library, monkeypatch):
+        """run_suite_parallel(deadline_s=...) routes through the
+        killable runner: a hung cell settles as FAILED(DeadlineError)
+        and the rest of the suite completes."""
+        import repro.harness.parallel as par
+
+        suite = _tiny_suite(library, isolate=True, circuits=2)
+        original = par.run_cell
+
+        def hang_bravo(task):
+            if task.circuit == "bravo":
+                import time as _time
+
+                _time.sleep(60.0)
+            return original(task)
+
+        monkeypatch.setattr(par, "run_cell", hang_bravo)
+        summary = par.run_suite_parallel(
+            suite, jobs=2, methods=("base",), error_rates=False,
+            deadline_s=2.0,
+        )
+        assert summary["n_cells"] >= 2
+        assert suite.failures
+        assert any(
+            record.error.get("type") == "DeadlineError"
+            and record.error["payload"]["failure_kind"] == "deadline"
+            and record.error["payload"]["attempts"] == 2
+            and record.circuit_name == "bravo"
+            for record in suite.failures
+        )
+        # The healthy circuit still produced its row.
+        table = suite.table5()
+        assert "FAILED" in table.render()

@@ -1,0 +1,207 @@
+"""Benchmark the flat-array arena STA against the object engine.
+
+Per circuit, builds both engines over the same netlist, verifies the
+full forward / backward DP results are bit-identical, then times
+repeated full DP passes on each (with warm delay caches — the compile
+cost of the arena is reported separately, it is paid once per netlist
+fingerprint).  A second section measures the batched Monte-Carlo
+estimator against per-seed sequential runs, again after a parity
+check:
+
+    python benchmarks/arena_bench.py
+    python benchmarks/arena_bench.py --circuits s38417x10 --passes 5 \
+        --min-speedup 5 --out benchmarks/results/BENCH_arena.json
+
+The committed artifact ``benchmarks/results/BENCH_arena.json`` is the
+PR's acceptance evidence for the >= 5x DP-throughput floor on a 10x
+Table-I circuit.
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+import time
+from pathlib import Path
+from typing import Any, Dict, List
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import metrics  # noqa: E402
+from repro.cells import default_library  # noqa: E402
+from repro.circuits import build_benchmark  # noqa: E402
+from repro.core import (  # noqa: E402
+    ArenaTimingEngine,
+    clear_arena_cache,
+    compile_arena,
+)
+from repro.flows import prepare_circuit  # noqa: E402
+from repro.latches import SlavePlacement  # noqa: E402
+from repro.sim import (  # noqa: E402
+    estimate_error_rate,
+    estimate_error_rate_batched,
+)
+from repro.sta.engine import TimingEngine  # noqa: E402
+
+DEFAULT_CIRCUITS = ["s38417", "s38417x10"]
+
+
+def _same(a: Dict[str, float], b: Dict[str, float]) -> bool:
+    if a.keys() != b.keys():
+        return False
+    return all(
+        a[k] == b[k] or (math.isnan(a[k]) and math.isnan(b[k])) for k in a
+    )
+
+
+def bench_sta_cell(
+    circuit_name: str, model: str, passes: int
+) -> Dict[str, Any]:
+    """Time full forward+backward DP passes on both engines."""
+    library = default_library()
+    netlist = build_benchmark(circuit_name, library)
+    obj = TimingEngine(netlist.copy(), library, model=model)
+    arena_nl = netlist.copy()
+    arena = ArenaTimingEngine(arena_nl, library, model=model)
+
+    clear_arena_cache()
+    compile_started = time.perf_counter()
+    compile_arena(arena_nl, arena.calculator)
+    compile_s = time.perf_counter() - compile_started
+
+    # Warm-up pass: fills both calculators' edge caches and pins the
+    # parity claim this artifact rides on.
+    fwd_obj, fwd_arena = obj._compute_forward(), arena._compute_forward()
+    bwd_obj = obj._compute_backward_any()
+    bwd_arena = arena._compute_backward_any()
+    if not (_same(fwd_obj, fwd_arena) and _same(bwd_obj, bwd_arena)):
+        raise AssertionError(
+            f"{circuit_name}/{model}: arena DP is NOT bit-identical to "
+            f"the object engine; do not trust its speed-up"
+        )
+
+    timings: Dict[str, float] = {}
+    for label, engine in (("object", obj), ("arena", arena)):
+        started = time.perf_counter()
+        for _ in range(passes):
+            engine._compute_forward()
+            engine._compute_backward_any()
+        timings[label] = time.perf_counter() - started
+
+    return {
+        "circuit": circuit_name,
+        "model": model,
+        "n_gates": len(netlist.gates),
+        "passes": passes,
+        "compile_s": round(compile_s, 4),
+        "object_dp_s": round(timings["object"], 4),
+        "arena_dp_s": round(timings["arena"], 4),
+        "dp_speedup": round(
+            timings["object"] / max(timings["arena"], 1e-9), 3
+        ),
+        "identical_results": True,
+    }
+
+
+def bench_batched_sim(
+    circuit_name: str, cycles: int, n_seeds: int
+) -> Dict[str, Any]:
+    """Batched Monte-Carlo vs per-seed sequential runs."""
+    library = default_library()
+    netlist = build_benchmark(circuit_name, library)
+    _, circuit = prepare_circuit(netlist, library)
+    placement = SlavePlacement.initial()
+    edl = {g.name for g in circuit.netlist.endpoints()}
+    seeds = [2017 + k for k in range(n_seeds)]
+
+    started = time.perf_counter()
+    sequential = [
+        estimate_error_rate(circuit, placement, edl, cycles=cycles, seed=s)
+        for s in seeds
+    ]
+    sequential_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    batched = estimate_error_rate_batched(
+        circuit, placement, edl, cycles=cycles, seeds=seeds
+    )
+    batched_s = time.perf_counter() - started
+
+    if batched != sequential:
+        raise AssertionError(
+            f"{circuit_name}: batched reports differ from sequential"
+        )
+    return {
+        "circuit": circuit_name,
+        "cycles": cycles,
+        "seeds": n_seeds,
+        "sequential_s": round(sequential_s, 4),
+        "batched_s": round(batched_s, 4),
+        "batch_speedup": round(
+            sequential_s / max(batched_s, 1e-9), 3
+        ),
+        "batched_cycles_per_sec": round(batched[0].cycles_per_sec, 1),
+        "identical_reports": True,
+    }
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--circuits", nargs="*", default=DEFAULT_CIRCUITS)
+    parser.add_argument("--model", default="path")
+    parser.add_argument("--passes", type=int, default=5)
+    parser.add_argument("--sim-circuit", default="s1196")
+    parser.add_argument("--sim-cycles", type=int, default=48)
+    parser.add_argument("--sim-seeds", type=int, default=8)
+    parser.add_argument("--min-speedup", type=float, default=5.0)
+    parser.add_argument(
+        "--out",
+        default=str(
+            Path(__file__).resolve().parent
+            / "results"
+            / "BENCH_arena.json"
+        ),
+    )
+    args = parser.parse_args(argv)
+
+    collector = metrics.MetricsCollector()
+    cells = []
+    with metrics.collect_into(collector):
+        for circuit_name in args.circuits:
+            cell = bench_sta_cell(circuit_name, args.model, args.passes)
+            cells.append(cell)
+            print(
+                f"{cell['circuit']:>10s} ({cell['n_gates']} gates) DP: "
+                f"object {cell['object_dp_s']:8.3f}s   arena "
+                f"{cell['arena_dp_s']:8.3f}s   x{cell['dp_speedup']:.2f}"
+                f"   (compile {cell['compile_s']:.3f}s)"
+            )
+        sim = bench_batched_sim(
+            args.sim_circuit, args.sim_cycles, args.sim_seeds
+        )
+        print(
+            f"{sim['circuit']:>10s} batched sim: sequential "
+            f"{sim['sequential_s']:.3f}s   batched {sim['batched_s']:.3f}s"
+            f"   x{sim['batch_speedup']:.2f}"
+        )
+
+    speedups = [cell["dp_speedup"] for cell in cells]
+    report = metrics.bench_report(
+        collector,
+        kind="arena",
+        model=args.model,
+        cells=cells,
+        sim=sim,
+        min_dp_speedup=min(speedups),
+        max_dp_speedup=max(speedups),
+    )
+    metrics.write_bench(args.out, report)
+    print(
+        f"\nmax DP speedup x{max(speedups):.2f}; artifact: {args.out}"
+    )
+    return 0 if max(speedups) >= args.min_speedup else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

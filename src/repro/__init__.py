@@ -22,6 +22,7 @@ Public API quick reference::
 from repro.cells import build_virtual_library, default_library
 from repro.circuits import build_benchmark, suite_names
 from repro.clocks import ClockScheme, scheme_from_period
+from repro.core import STA_ENGINES, make_timing_engine
 from repro.errors import (
     FlowStageError,
     InvariantError,
@@ -36,7 +37,7 @@ from repro.harness import ExperimentSuite
 from repro.latches import SlavePlacement, TwoPhaseCircuit
 from repro.netlist import Netlist, NetlistBuilder, parse_bench, validate
 from repro.retime import base_retime, grar_retime
-from repro.sim import estimate_error_rate
+from repro.sim import estimate_error_rate, estimate_error_rate_batched
 from repro.vl import VlVariant, vl_retime
 
 __version__ = "1.0.0"
@@ -56,6 +57,7 @@ __all__ = [
     "TimingError",
     "Netlist",
     "NetlistBuilder",
+    "STA_ENGINES",
     "SlavePlacement",
     "TwoPhaseCircuit",
     "VlVariant",
@@ -64,7 +66,9 @@ __all__ = [
     "build_virtual_library",
     "default_library",
     "estimate_error_rate",
+    "estimate_error_rate_batched",
     "grar_retime",
+    "make_timing_engine",
     "parse_bench",
     "prepare_circuit",
     "run_flow",

@@ -120,9 +120,56 @@ SUITE_ORDER: List[str] = [
 SMALL_SUITE: List[str] = ["s1196", "s1238", "s1423", "s1488"]
 
 
+#: Largest accepted ``<base>x<factor>`` scale factor — beyond this the
+#: generator's retry budget and the DP arrays stop being
+#: laptop-friendly, and nothing in the bench matrix asks for more.
+MAX_SCALE_FACTOR = 100
+
+
 def suite_names(small_only: bool = False) -> List[str]:
     """Benchmark names in the paper's table order."""
     return list(SMALL_SUITE if small_only else SUITE_ORDER)
+
+
+def scaled_profile(base: BenchmarkProfile, factor: int) -> BenchmarkProfile:
+    """A Table-I profile grown ``factor``-fold for throughput benches.
+
+    I/O, flop and gate counts scale linearly while the logic depth is
+    kept — the point of the scaled circuits is wider DP levels (where
+    the vectorized arena engine earns its keep), not longer critical
+    paths that would change the timing profile class.  The seed is
+    derived deterministically so ``s38417x10`` is the same netlist in
+    every session.
+    """
+    if factor < 2 or factor > MAX_SCALE_FACTOR:
+        raise ValueError(
+            f"scale factor {factor} out of range [2, {MAX_SCALE_FACTOR}]"
+        )
+    return BenchmarkProfile(
+        name=f"{base.name}x{factor}",
+        seed=base.seed * 1000 + factor,
+        n_inputs=base.n_inputs * factor,
+        n_outputs=base.n_outputs * factor,
+        n_flops=base.n_flops * factor,
+        n_gates=base.n_gates * factor,
+        depth=base.depth,
+        critical_fraction=base.critical_fraction,
+        paper_period_ns=base.paper_period_ns,
+        paper_flops=base.paper_flops,
+        paper_nce=base.paper_nce,
+        paper_area=base.paper_area,
+    )
+
+
+def _parse_scaled(name: str) -> BenchmarkProfile:
+    """Resolve a ``<base>x<factor>`` name, raising the suite KeyError."""
+    base_name, sep, suffix = name.rpartition("x")
+    if sep and base_name in BENCHMARK_PROFILES and suffix.isdigit():
+        return scaled_profile(BENCHMARK_PROFILES[base_name], int(suffix))
+    raise KeyError(
+        f"unknown benchmark {name!r}; choose from {SUITE_ORDER} "
+        f"or a scaled variant like 's38417x10'"
+    )
 
 
 def build_benchmark(name: str, library: Library) -> Netlist:
@@ -130,7 +177,10 @@ def build_benchmark(name: str, library: Library) -> Netlist:
 
     Plasma is built structurally (a real 3-stage MIPS-like datapath,
     see :mod:`repro.circuits.plasma`); the ISCAS89 circuits use the
-    statistics-matched random generator.
+    statistics-matched random generator.  A ``<base>x<factor>`` name
+    (e.g. ``"s38417x10"``, factor 2-100) generates a circuit with the
+    base profile's statistics scaled ``factor``-fold — the stress
+    inputs for the arena engine benchmarks.
     """
     if name == "plasma":
         from repro.circuits.plasma import build_plasma
@@ -139,7 +189,5 @@ def build_benchmark(name: str, library: Library) -> Netlist:
     try:
         profile = BENCHMARK_PROFILES[name]
     except KeyError:
-        raise KeyError(
-            f"unknown benchmark {name!r}; choose from {SUITE_ORDER}"
-        ) from None
+        profile = _parse_scaled(name)
     return generate_circuit(profile.spec(), library)

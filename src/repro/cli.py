@@ -115,7 +115,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
         raise ValueError("--overhead must be non-negative")
     library = default_library()
     netlist = build_benchmark(args.circuit, library)
-    scheme, _ = prepare_circuit(netlist, library, sta_mode=args.sta_mode)
+    scheme, _ = prepare_circuit(
+        netlist, library, sta_mode=args.sta_mode,
+        sta_engine=args.sta_engine,
+    )
     print(f"{args.circuit}: {netlist.stats()}")
     print(
         f"clock: P={scheme.max_path_delay:.4f} Pi={scheme.period:.4f} "
@@ -124,6 +127,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     outcome = run_flow(
         args.method, netlist, library, args.overhead, scheme=scheme,
         guard=args.guard, sta_mode=args.sta_mode,
+        sta_engine=args.sta_engine,
         retime_cache=args.retime_cache == "on",
     )
     print(outcome.summary())
@@ -163,6 +167,7 @@ def _cmd_tables(args: argparse.Namespace) -> int:
         error_rate_cycles=args.cycles,
         sim_backend=args.sim_backend,
         sta_mode=args.sta_mode,
+        sta_engine=args.sta_engine,
         guard=args.guard,
         isolate=args.isolate,
         memo_path=args.memo,
@@ -414,6 +419,13 @@ def build_parser() -> argparse.ArgumentParser:
              " change; results are bit-identical",
     )
     run.add_argument(
+        "--sta-engine", default="object",
+        choices=["object", "arena"],
+        help="timing-engine implementation: the object-graph reference"
+             " (default) or the vectorized flat-array arena;"
+             " results are bit-identical",
+    )
+    run.add_argument(
         "--guard", default="off", choices=["off", "warn", "strict"],
         help="inter-stage invariant checkpoints",
     )
@@ -446,6 +458,12 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["incremental", "full"],
         help="timing-update policy (bit-identical results;"
              " 'incremental' repairs only the changed cones)",
+    )
+    tables.add_argument(
+        "--sta-engine", default="object",
+        choices=["object", "arena"],
+        help="timing-engine implementation (bit-identical results;"
+             " 'arena' runs the full DPs on flat arrays)",
     )
     tables.add_argument(
         "--guard", default="off", choices=["off", "warn", "strict"],

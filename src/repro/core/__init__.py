@@ -1,0 +1,31 @@
+"""Flat-array core: the CSR netlist arena and its vectorized engines.
+
+See :mod:`repro.core.arena` for the representation and the bit-parity
+contract, and :mod:`repro.core.engine` for the drop-in
+:class:`~repro.sta.engine.TimingEngine` replacement behind the
+``--sta-engine`` switch.
+"""
+
+from repro.core.arena import (
+    NetlistArena,
+    arena_fingerprint,
+    clear_arena_cache,
+    compile_arena,
+)
+from repro.core.engine import (
+    STA_ENGINES,
+    ArenaMinDelayAnalysis,
+    ArenaTimingEngine,
+    make_timing_engine,
+)
+
+__all__ = [
+    "NetlistArena",
+    "arena_fingerprint",
+    "clear_arena_cache",
+    "compile_arena",
+    "STA_ENGINES",
+    "ArenaMinDelayAnalysis",
+    "ArenaTimingEngine",
+    "make_timing_engine",
+]

@@ -23,6 +23,7 @@ from typing import Dict, List, Optional, Set, Tuple, Union
 from repro import metrics
 from repro.cells.library import Library
 from repro.clocks import ClockScheme, scheme_from_period
+from repro.core.engine import make_timing_engine
 from repro.errors import FlowStageError, stage_scope
 from repro.guard import CheckpointRecord, Guard, GuardPolicy
 from repro.latches.resilient import EPS, SequentialCost, TwoPhaseCircuit
@@ -113,6 +114,7 @@ def prepare_circuit(
     clock_margin: float = 1.05,
     scheme: Optional[ClockScheme] = None,
     sta_mode: str = "incremental",
+    sta_engine: str = "object",
 ) -> Tuple[ClockScheme, TwoPhaseCircuit]:
     """Derive the clock from the flop design and build the two-phase view.
 
@@ -120,10 +122,14 @@ def prepare_circuit(
     worst arrival times ``clock_margin`` (synthesized netlists meet
     their period with a little slack; the conversion borrows it for the
     latch delays).
+
+    ``sta_engine`` selects the timing-engine implementation: the
+    object-graph reference (``"object"``) or the vectorized flat-array
+    arena (``"arena"``) — bit-identical results, different cost.
     """
     if scheme is None:
-        engine = TimingEngine(
-            netlist, library, model=model,
+        engine = make_timing_engine(
+            sta_engine, netlist, library, model=model,
             incremental=(sta_mode == "incremental"),
         )
         worst = engine.worst_arrival()
@@ -131,7 +137,8 @@ def prepare_circuit(
             raise ValueError(f"netlist {netlist.name!r} has no timing paths")
         scheme = scheme_from_period(worst * clock_margin)
     circuit = TwoPhaseCircuit(
-        netlist, scheme, library, model=model, sta_mode=sta_mode
+        netlist, scheme, library, model=model, sta_mode=sta_mode,
+        sta_engine=sta_engine,
     )
     return scheme, circuit
 
@@ -149,6 +156,7 @@ def run_flow(
     solver_policy=None,
     guard: Union[Guard, GuardPolicy, str, None] = None,
     sta_mode: str = "incremental",
+    sta_engine: str = "object",
     retime_cache: bool = True,
     harden_fraction: float = 0.5,
 ) -> FlowOutcome:
@@ -164,6 +172,11 @@ def run_flow(
     updates (``"incremental"``, the default) and whole-engine
     invalidation on every netlist change (``"full"``, the parity
     oracle) — results are bit-identical, only the cost differs.
+
+    ``sta_engine`` independently selects the engine *implementation*:
+    the object-graph reference (``"object"``, the default and parity
+    oracle) or the vectorized flat-array arena (``"arena"``) — again
+    bit-identical results, different cost.
 
     ``retime_cache`` enables the compiled-retiming cache and simplex
     warm-starts across an overhead sweep (``False`` recomputes and
@@ -205,7 +218,7 @@ def run_flow(
             if scheme is None:
                 scheme, _ = prepare_circuit(
                     working, library, model=delay_model,
-                    sta_mode=sta_mode,
+                    sta_mode=sta_mode, sta_engine=sta_engine,
                 )
             ff_result = ff_retime_min_area(
                 working, library,
@@ -214,7 +227,7 @@ def run_flow(
             working = ff_result.netlist
         scheme, circuit = prepare_circuit(
             working, library, model=delay_model, scheme=scheme,
-            sta_mode=sta_mode,
+            sta_mode=sta_mode, sta_engine=sta_engine,
         )
         sentinel.netlist_valid(working, library, "prepare")
         sentinel.timing_sane(circuit, "prepare")
@@ -379,7 +392,7 @@ def run_flow(
     if delay_model != "path":
         _, circuit = prepare_circuit(
             working, library, model="path", scheme=scheme,
-            sta_mode=sta_mode,
+            sta_mode=sta_mode, sta_engine=sta_engine,
         )
 
     placement = retiming.placement
@@ -607,11 +620,14 @@ def run_methods(
     scheme: Optional[ClockScheme] = None,
     sizing: bool = True,
     sta_mode: str = "incremental",
+    sta_engine: str = "object",
     retime_cache: bool = True,
 ) -> Dict[str, FlowOutcome]:
     """Run several methods under one shared clock scheme."""
     if scheme is None:
-        scheme, _ = prepare_circuit(netlist, library, sta_mode=sta_mode)
+        scheme, _ = prepare_circuit(
+            netlist, library, sta_mode=sta_mode, sta_engine=sta_engine
+        )
     return {
         method: run_flow(
             method,
@@ -621,6 +637,7 @@ def run_methods(
             scheme=scheme,
             sizing=sizing,
             sta_mode=sta_mode,
+            sta_engine=sta_engine,
             retime_cache=retime_cache,
         )
         for method in methods

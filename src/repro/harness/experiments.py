@@ -140,6 +140,7 @@ class ExperimentSuite:
         sim_seed: int = 2017,
         sim_backend: str = "compiled",
         sta_mode: str = "incremental",
+        sta_engine: str = "object",
         guard: Optional[str] = None,
         isolate: bool = False,
         memo_path: Optional[str] = None,
@@ -154,6 +155,7 @@ class ExperimentSuite:
         self.sim_seed = sim_seed
         self.sim_backend = sim_backend
         self.sta_mode = sta_mode
+        self.sta_engine = sta_engine
         self.guard = guard
         self.isolate = isolate
         self.memo_path = memo_path
@@ -187,7 +189,10 @@ class ExperimentSuite:
     def scheme(self, name: str) -> ClockScheme:
         """The (memoized) derived clock scheme for ``name``."""
         if name not in self._schemes:
-            scheme, _ = prepare_circuit(self.netlist(name), self.library)
+            scheme, _ = prepare_circuit(
+                self.netlist(name), self.library,
+                sta_engine=self.sta_engine,
+            )
             self._schemes[name] = scheme
         return self._schemes[name]
 
@@ -262,6 +267,7 @@ class ExperimentSuite:
                 guard=self.guard,
                 solver_policy=self.solver_policy,
                 sta_mode=self.sta_mode,
+                sta_engine=self.sta_engine,
                 retime_cache=self.retime_cache,
             )
         except ReproError as exc:

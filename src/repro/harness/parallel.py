@@ -141,6 +141,7 @@ class CellTask:
     seed: int
     sim_backend: str = "compiled"
     sta_mode: str = "incremental"
+    sta_engine: str = "object"
     retime_cache: bool = True
     #: sweep points this task covers (empty = just ``overhead``).
     #: G-RAR tasks ship one sweep per circuit so the worker's compiled
@@ -285,6 +286,7 @@ def plan_cells(
                         seed=suite.sim_seed,
                         sim_backend=suite.sim_backend,
                         sta_mode=suite.sta_mode,
+                        sta_engine=suite.sta_engine,
                         retime_cache=suite.retime_cache,
                         overheads=batch,
                         rate_overheads=tuple(
@@ -333,6 +335,7 @@ def _run_point(task: CellTask, overhead: float) -> CellResult:
                 guard=task.guard,
                 solver_policy=task.solver_policy,
                 sta_mode=task.sta_mode,
+                sta_engine=task.sta_engine,
                 retime_cache=task.retime_cache,
             )
         except ReproError as exc:
@@ -769,6 +772,7 @@ def run_suite_parallel(
     summary: Dict[str, Any] = {
         "jobs": jobs,
         "sim_backend": suite.sim_backend,
+        "sta_engine": suite.sta_engine,
         "sim_cells": len(sim_rates),
         "sim_cycles_per_sec": round(
             sum(sim_rates) / len(sim_rates), 2

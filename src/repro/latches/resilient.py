@@ -21,6 +21,7 @@ from repro.cells.library import Library
 from repro.clocks import ClockScheme
 from repro.latches.placement import HOST, SlavePlacement
 from repro.netlist.netlist import GateType, Netlist
+from repro.core.engine import STA_ENGINES, make_timing_engine
 from repro.sta.delay_models import DelayCalculator
 from repro.sta.engine import NEG_INF, TimingEngine
 
@@ -118,17 +119,25 @@ class TwoPhaseCircuit:
         latch: Optional[LatchCell] = None,
         zero_latch_delays: bool = False,
         sta_mode: str = "incremental",
+        sta_engine: str = "object",
     ) -> None:
         if sta_mode not in ("incremental", "full"):
             raise ValueError(
                 f"unknown sta_mode {sta_mode!r} (use 'incremental' or "
                 f"'full')"
             )
+        if sta_engine not in STA_ENGINES:
+            raise ValueError(
+                f"unknown sta_engine {sta_engine!r}; "
+                f"expected one of {STA_ENGINES}"
+            )
         self.netlist = netlist
         self.scheme = scheme
         self.library = library
         self.sta_mode = sta_mode
-        self.engine = TimingEngine(
+        self.sta_engine = sta_engine
+        self.engine = make_timing_engine(
+            sta_engine,
             netlist,
             library,
             model=model,

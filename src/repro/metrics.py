@@ -81,6 +81,59 @@ class StageStats:
         }
 
 
+@dataclass
+class ValueStats:
+    """Aggregated samples of one named measurement (a gauge).
+
+    Counters answer "how many"; this answers "how large" — wall-clock
+    seconds, batch sizes, throughputs.  Keeping them separate stops a
+    measurement like ``sim.wall_s`` from masquerading as an event
+    count in bench artifacts.
+    """
+
+    count: int = 0
+    total: float = 0.0
+    min: float = 0.0
+    max: float = 0.0
+    last: float = 0.0
+
+    def add(self, value: float) -> None:
+        """Record one sample."""
+        if self.count == 0:
+            self.min = value
+            self.max = value
+        else:
+            self.min = min(self.min, value)
+            self.max = max(self.max, value)
+        self.count += 1
+        self.total += value
+        self.last = value
+
+    def absorb(self, other: "ValueStats") -> None:
+        """Fold another series' stats into this one."""
+        if other.count == 0:
+            return
+        if self.count == 0:
+            self.min = other.min
+            self.max = other.max
+        else:
+            self.min = min(self.min, other.min)
+            self.max = max(self.max, other.max)
+        self.count += other.count
+        self.total += other.total
+        self.last = other.last
+
+    def to_dict(self) -> Dict[str, float]:
+        """JSON-friendly form."""
+        return {
+            "count": self.count,
+            "total": round(self.total, 6),
+            "min": round(self.min, 6),
+            "max": round(self.max, 6),
+            "last": round(self.last, 6),
+        }
+
+
 class MetricsCollector:
     """A sink for counters and stage timings.
 
@@ -91,12 +144,17 @@ class MetricsCollector:
     def __init__(self) -> None:
         self.counters: Dict[str, float] = {}
         self.stages: Dict[str, StageStats] = {}
+        self.values: Dict[str, ValueStats] = {}
 
     # -- recording -----------------------------------------------------
 
     def count(self, name: str, value: float = 1.0) -> None:
         """Add ``value`` to the named counter."""
         self.counters[name] = self.counters.get(name, 0.0) + value
+
+    def record_value(self, name: str, value: float) -> None:
+        """Record one sample of the named measurement."""
+        self.values.setdefault(name, ValueStats()).add(value)
 
     @contextmanager
     def stage(self, name: str) -> Iterator[None]:
@@ -118,6 +176,8 @@ class MetricsCollector:
             self.count(name, value)
         for name, stats in other.stages.items():
             self.stages.setdefault(name, StageStats()).absorb(stats)
+        for name, stats in other.values.items():
+            self.values.setdefault(name, ValueStats()).absorb(stats)
 
     def merge_dict(self, payload: Mapping[str, Any]) -> None:
         """Merge the :meth:`to_dict` form (crossed a process boundary)."""
@@ -131,10 +191,25 @@ class MetricsCollector:
                     peak_rss_kb=float(raw.get("peak_rss_kb", 0.0)),
                 )
             )
+        for name, raw in payload.get("values", {}).items():
+            self.values.setdefault(name, ValueStats()).absorb(
+                ValueStats(
+                    count=int(raw.get("count", 0)),
+                    total=float(raw.get("total", 0.0)),
+                    min=float(raw.get("min", 0.0)),
+                    max=float(raw.get("max", 0.0)),
+                    last=float(raw.get("last", 0.0)),
+                )
+            )
 
     def to_dict(self) -> Dict[str, Any]:
-        """JSON-friendly form (inverse of :meth:`merge_dict`)."""
-        return {
+        """JSON-friendly form (inverse of :meth:`merge_dict`).
+
+        The ``values`` key is additive over the original
+        ``repro-bench/1`` layout — absent when nothing was recorded,
+        so existing artifacts and their consumers are untouched.
+        """
+        payload: Dict[str, Any] = {
             "counters": {
                 name: self.counters[name] for name in sorted(self.counters)
             },
@@ -143,6 +218,12 @@ class MetricsCollector:
                 for name in sorted(self.stages)
             },
         }
+        if self.values:
+            payload["values"] = {
+                name: self.values[name].to_dict()
+                for name in sorted(self.values)
+            }
+        return payload
 
 
 # -- the ambient collector --------------------------------------------------
@@ -172,6 +253,14 @@ def count(name: str, value: float = 1.0) -> None:
     collector = _CURRENT.get()
     if collector is not None:
         collector.count(name, value)
+
+
+def record_value(name: str, value: float) -> None:
+    """Record a measurement sample on the ambient collector (no-op
+    when absent)."""
+    collector = _CURRENT.get()
+    if collector is not None:
+        collector.record_value(name, value)
 
 
 @contextmanager

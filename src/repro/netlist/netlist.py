@@ -19,6 +19,8 @@ from __future__ import annotations
 import weakref
 from dataclasses import dataclass, replace
 from enum import Enum
+
+from repro import metrics
 from typing import (
     ClassVar,
     Dict,
@@ -214,7 +216,7 @@ class Netlist:
         self._gates: Dict[str, Gate] = {}
         self._dirty = True
         self._fanouts: Dict[str, Tuple[str, ...]] = {}
-        self._topo: List[str] = []
+        self._topo: Tuple[str, ...] = ()
         #: Weak references to subscribers (see :meth:`subscribe`); weak
         #: so a netlist outliving its timing engines never pins them.
         self._subscribers: List["weakref.ref"] = []
@@ -407,7 +409,7 @@ class Netlist:
                     )
                 fanouts[driver].append(gate.name)
         self._fanouts = {k: tuple(v) for k, v in fanouts.items()}
-        self._topo = self._levelize()
+        self._topo = tuple(self._levelize())
         self._dirty = False
 
     def _levelize(self) -> List[str]:
@@ -452,10 +454,18 @@ class Netlist:
         self._ensure()
         return self._fanouts[name]
 
-    def topo_order(self) -> List[str]:
-        """Sources first, then comb gates/outputs in dependency order."""
+    def topo_order(self) -> Tuple[str, ...]:
+        """Sources first, then comb gates/outputs in dependency order.
+
+        Returns the cached immutable tuple directly: this is called
+        inside the DP/repair loops, and the historical per-call
+        ``list(...)`` copy was pure overhead (no caller mutates the
+        order — it is consumed by iteration, ``reversed`` and
+        indexing only).
+        """
         self._ensure()
-        return list(self._topo)
+        metrics.count("netlist.topo.copies_avoided")
+        return self._topo
 
     def comb_edges(self) -> Iterator[Tuple[str, str]]:
         """All (driver, sink) edges of the combinational cloud.

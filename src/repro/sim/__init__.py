@@ -22,6 +22,7 @@ from repro.sim.errorrate import (
     ErrorRateReport,
     estimate_error_rate,
 )
+from repro.sim.batch import estimate_error_rate_batched
 from repro.sim.vcd import vcd_text, write_vcd
 
 __all__ = [
@@ -35,6 +36,7 @@ __all__ = [
     "random_vectors",
     "ErrorRateReport",
     "estimate_error_rate",
+    "estimate_error_rate_batched",
     "vcd_text",
     "write_vcd",
 ]

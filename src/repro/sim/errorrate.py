@@ -67,17 +67,27 @@ class ErrorRateReport:
         return 100.0 * self.error_cycles / self.cycles
 
 
-def _check_plan_targets(netlist, plan: InjectionPlan) -> None:
+def _check_plan_targets(
+    netlist, plan: InjectionPlan, placement: SlavePlacement
+) -> None:
     """Reject an injection plan naming nets/state the design lacks.
 
     A silently-ignored injection target would make a scenario look
-    healthier than it is, so unknown names are a typed failure.
+    healthier than it is, so unknown names are a typed failure.  SEU
+    targets may be flop names or ``latch:<driver>:<sink>`` state keys;
+    the latter are validated against the placement's actual latch
+    edges — a typo'd key would otherwise mutate phantom ``latch_state``
+    entries no waveform ever reads.
     """
     if plan.empty:
         return
     known_nets = {g.name for g in netlist.comb_gates()}
     known_nets.update(g.name for g in netlist.sources())
     flop_names = {g.name for g in netlist.flops()}
+    latch_keys = {
+        f"latch:{driver}:{sink}"
+        for driver, sink in placement.latch_edges(netlist)
+    }
     bad = sorted(
         {
             spec.net
@@ -94,8 +104,7 @@ def _check_plan_targets(netlist, plan: InjectionPlan) -> None:
             target
             for targets in plan.seu_flips.values()
             for target in targets
-            if target not in flop_names
-            and not target.startswith("latch:")
+            if target not in flop_names and target not in latch_keys
         }
     )
     if bad:
@@ -103,6 +112,162 @@ def _check_plan_targets(netlist, plan: InjectionPlan) -> None:
             f"injection plan names unknown targets: {bad[:8]}",
             payload={"unknown_targets": bad, "plan": plan.label},
         )
+
+
+@dataclass
+class _LaneState:
+    """Mutable per-seed state of one simulation lane."""
+
+    source: VectorSource
+    report: ErrorRateReport
+    latch_state: Dict[str, int]
+    flop_values: Dict[str, int]
+
+
+class _CycleLoop:
+    """Cycle-invariant simulation setup plus the per-cycle bookkeeping.
+
+    Both :func:`estimate_error_rate` and
+    :func:`~repro.sim.batch.estimate_error_rate_batched` drive their
+    cycles through :meth:`step`, so the batched estimator is
+    bit-identical to running the sequential one per seed *by
+    construction* — there is exactly one copy of the window scan, the
+    settled-value capture, and the SEU flip logic.
+    """
+
+    def __init__(
+        self,
+        circuit: TwoPhaseCircuit,
+        placement: SlavePlacement,
+        edl_endpoints: Set[str],
+        plan: InjectionPlan,
+        backend: str,
+        max_events_per_net: int,
+    ) -> None:
+        if backend not in SIM_BACKENDS:
+            raise ValueError(
+                f"unknown simulation backend {backend!r}; "
+                f"expected one of {SIM_BACKENDS}"
+            )
+        netlist = circuit.netlist
+        _check_plan_targets(netlist, plan, placement)
+        self.backend = backend
+        self.plan = plan
+        self.edl_endpoints = edl_endpoints
+        scheme = circuit.scheme
+        self.window_open = scheme.window_open
+        self.window_close = scheme.window_close
+
+        # The compile (kernel) / construction (event) cost is paid
+        # once here, shared by every lane stepped through this loop.
+        if backend == "compiled":
+            from repro.sim.kernel import CompiledSimulator
+
+            kernel = CompiledSimulator(
+                circuit,
+                placement,
+                max_events_per_net=max_events_per_net,
+                delay_scale=plan.delay_scale,
+            )
+
+            def run_cycle(launch, state, glitches):
+                return kernel.run_cycle(launch, state, glitches=glitches)
+
+        else:
+            simulator = TimedSimulator(
+                circuit,
+                max_events_per_net=max_events_per_net,
+                delay_scale=plan.delay_scale,
+            )
+
+            def run_cycle(launch, state, glitches):
+                return simulator.run_cycle(
+                    launch, placement, state, glitches=glitches
+                )
+
+        self.run_cycle = run_cycle
+        self.pi_names = [g.name for g in netlist.inputs()]
+        # (endpoint name, waveform key) pairs, hoisted out of the loop.
+        self.endpoint_keys = [
+            (
+                g.name,
+                f"{g.name}::d" if g.gtype is GateType.DFF else g.name,
+            )
+            for g in netlist.endpoints()
+        ]
+        self.flop_keys = [(g.name, f"{g.name}::d") for g in netlist.flops()]
+        self.flop_names = {name for name, _ in self.flop_keys}
+
+    def new_lane(
+        self, cycles: int, seed: int, toggle_probability: float
+    ) -> _LaneState:
+        """Fresh lane state for one seed (zeroed flops, empty latches)."""
+        return _LaneState(
+            source=VectorSource(
+                self.pi_names,
+                seed=seed,
+                toggle_probability=toggle_probability,
+            ),
+            report=ErrorRateReport(
+                cycles=cycles, error_cycles=0, backend=self.backend
+            ),
+            latch_state={},
+            flop_values={name: 0 for name, _ in self.flop_keys},
+        )
+
+    def step(self, cycle: int, lane: _LaneState) -> None:
+        """Advance one lane through one cycle."""
+        report = lane.report
+        launch = dict(lane.flop_values)
+        launch.update(lane.source.next_vector())
+        waves = self.run_cycle(
+            launch, lane.latch_state, self.plan.glitches.get(cycle, ())
+        )
+
+        cycle_error = False
+        for name, wave_key in self.endpoint_keys:
+            wave = waves[wave_key]
+            times = wave.transition_times()
+            if not window_has_transition(
+                times, self.window_open, self.window_close
+            ):
+                continue
+            if name in self.edl_endpoints:
+                cycle_error = True
+                report.per_endpoint[name] = (
+                    report.per_endpoint.get(name, 0) + 1
+                )
+            else:
+                report.non_edl_violations += 1
+        if cycle_error:
+            report.error_cycles += 1
+
+        # Masters capture the *settled* value: an error stalls the
+        # next stage in silicon until the time-borrowed transition has
+        # landed, so the state carried into the next cycle is the
+        # waveform's final value — not a sample at the window close,
+        # which would lose any transition borrowed past it.
+        for name, wave_key in self.flop_keys:
+            lane.flop_values[name] = waves[wave_key].final
+
+        # SEU capture flips strike the carried-over state *after* this
+        # cycle's capture settles — a particle inverting the stored
+        # bit.  Applied to the shared state dicts, so both backends
+        # see the identical corruption by construction.
+        for target in self.plan.seu_flips.get(cycle, ()):
+            if target in self.flop_names:
+                lane.flop_values[target] = 1 - lane.flop_values[target]
+            else:
+                lane.latch_state[target] = 1 - lane.latch_state.get(
+                    target, 0
+                )
+            metrics.count("sim.inject.seu_flips")
+
+    def finish(self, lane: _LaneState) -> ErrorRateReport:
+        """Seal a lane's report with its final state snapshots."""
+        lane.report.final_flop_state = dict(lane.flop_values)
+        lane.report.final_latch_state = dict(lane.latch_state)
+        return lane.report
 
 
 def estimate_error_rate(
@@ -124,111 +289,25 @@ def estimate_error_rate(
     Both backends honour the same plan identically (the bit-parity
     contract extends to injected runs).
     """
-    if backend not in SIM_BACKENDS:
-        raise ValueError(
-            f"unknown simulation backend {backend!r}; "
-            f"expected one of {SIM_BACKENDS}"
-        )
-    netlist = circuit.netlist
-    scheme = circuit.scheme
-    window_open = scheme.window_open
-    window_close = scheme.window_close
     plan = injection or InjectionPlan()
-    _check_plan_targets(netlist, plan)
+    loop = _CycleLoop(
+        circuit, placement, edl_endpoints, plan, backend, max_events_per_net
+    )
+    lane = loop.new_lane(cycles, seed, toggle_probability)
+    report = lane.report
 
-    if backend == "compiled":
-        from repro.sim.kernel import CompiledSimulator
-
-        kernel = CompiledSimulator(
-            circuit,
-            placement,
-            max_events_per_net=max_events_per_net,
-            delay_scale=plan.delay_scale,
-        )
-
-        def run_cycle(launch, state, glitches):
-            return kernel.run_cycle(launch, state, glitches=glitches)
-
-    else:
-        simulator = TimedSimulator(
-            circuit,
-            max_events_per_net=max_events_per_net,
-            delay_scale=plan.delay_scale,
-        )
-
-        def run_cycle(launch, state, glitches):
-            return simulator.run_cycle(
-                launch, placement, state, glitches=glitches
-            )
-
-    pi_names = [g.name for g in netlist.inputs()]
-    source = VectorSource(pi_names, seed=seed, toggle_probability=toggle_probability)
-
-    # (endpoint name, waveform key) pairs, hoisted out of the loop.
-    endpoint_keys = [
-        (
-            g.name,
-            f"{g.name}::d" if g.gtype is GateType.DFF else g.name,
-        )
-        for g in netlist.endpoints()
-    ]
-    flop_keys = [(g.name, f"{g.name}::d") for g in netlist.flops()]
-
-    report = ErrorRateReport(cycles=cycles, error_cycles=0, backend=backend)
-    latch_state: Dict[str, int] = {}
-    flop_values: Dict[str, int] = {name: 0 for name, _ in flop_keys}
-
-    flop_names = {name for name, _ in flop_keys}
     started = time.perf_counter()
     for cycle in range(cycles):
-        launch = dict(flop_values)
-        launch.update(source.next_vector())
-        waves = run_cycle(
-            launch, latch_state, plan.glitches.get(cycle, ())
-        )
-
-        cycle_error = False
-        for name, wave_key in endpoint_keys:
-            wave = waves[wave_key]
-            times = wave.transition_times()
-            if not window_has_transition(times, window_open, window_close):
-                continue
-            if name in edl_endpoints:
-                cycle_error = True
-                report.per_endpoint[name] = (
-                    report.per_endpoint.get(name, 0) + 1
-                )
-            else:
-                report.non_edl_violations += 1
-        if cycle_error:
-            report.error_cycles += 1
-
-        # Masters capture the *settled* value: an error stalls the
-        # next stage in silicon until the time-borrowed transition has
-        # landed, so the state carried into the next cycle is the
-        # waveform's final value — not a sample at the window close,
-        # which would lose any transition borrowed past it.
-        for name, wave_key in flop_keys:
-            flop_values[name] = waves[wave_key].final
-
-        # SEU capture flips strike the carried-over state *after* this
-        # cycle's capture settles — a particle inverting the stored
-        # bit.  Applied to the shared state dicts, so both backends
-        # see the identical corruption by construction.
-        for target in plan.seu_flips.get(cycle, ()):
-            if target in flop_names:
-                flop_values[target] = 1 - flop_values[target]
-            else:
-                latch_state[target] = 1 - latch_state.get(target, 0)
-            metrics.count("sim.inject.seu_flips")
+        loop.step(cycle, lane)
     wall_s = time.perf_counter() - started
-    report.final_flop_state = dict(flop_values)
-    report.final_latch_state = dict(latch_state)
+    loop.finish(lane)
     if wall_s > 0.0:
         report.cycles_per_sec = cycles / wall_s
     metrics.count(f"sim.backend.{backend}")
     metrics.count("sim.cycles", cycles)
-    metrics.count("sim.wall_s", wall_s)
+    # A wall-clock measurement is a gauge, not an event count — it
+    # lives under "values" in bench artifacts, not "counters".
+    metrics.record_value("sim.wall_s", wall_s)
     if not plan.empty:
         counts = plan.counts()
         metrics.count("sim.inject.runs")

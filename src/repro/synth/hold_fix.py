@@ -59,14 +59,26 @@ def fix_hold(
     required_min: float,
     endpoints: Optional[Set[str]] = None,
     max_buffers: int = 400,
+    engine: str = "object",
 ) -> HoldFixReport:
     """Insert buffers until every endpoint's min arrival meets the bound.
 
     ``endpoints`` restricts the check (e.g. to error-detecting masters
     only — non-EDL masters never sample inside the window).
+    ``engine`` picks the min-delay DP implementation (``"object"`` or
+    ``"arena"``, mirroring ``--sta-engine``; bit-identical results).
     """
     report = HoldFixReport()
-    analysis = MinDelayAnalysis(netlist, library)
+    if engine == "arena":
+        from repro.core.engine import ArenaMinDelayAnalysis
+
+        analysis = ArenaMinDelayAnalysis(netlist, library)
+    elif engine == "object":
+        analysis = MinDelayAnalysis(netlist, library)
+    else:
+        raise ValueError(
+            f"unknown engine {engine!r} (use 'object' or 'arena')"
+        )
     buffer_cell = library.pick_comb("BUF", 1)
     counter = 0
 

@@ -146,3 +146,65 @@ class TestBenchArtifacts:
         for stage in ("prepare", "retime", "sizing", "finalize"):
             assert collector.stages[stage].calls >= 1
         assert collector.counters["mcf.solves"] >= 1
+
+
+class TestValueStats:
+    def test_record_value_aggregates(self):
+        collector = metrics.MetricsCollector()
+        for v in (2.0, 0.5, 1.0):
+            collector.record_value("sim.wall_s", v)
+        stats = collector.values["sim.wall_s"]
+        assert stats.count == 3
+        assert stats.total == 3.5
+        assert stats.min == 0.5
+        assert stats.max == 2.0
+        assert stats.last == 1.0
+
+    def test_ambient_record_value(self):
+        collector = metrics.MetricsCollector()
+        metrics.record_value("orphan", 9.0)  # no collector: no-op
+        with metrics.collect_into(collector):
+            metrics.record_value("x", 4.0)
+        assert collector.values["x"].total == 4.0
+        assert "orphan" not in collector.values
+
+    def test_values_merge_and_roundtrip(self):
+        a = metrics.MetricsCollector()
+        b = metrics.MetricsCollector()
+        a.record_value("w", 1.0)
+        b.record_value("w", 3.0)
+        b.record_value("w", 0.25)
+        a.merge(b)
+        assert a.values["w"].count == 3
+        assert a.values["w"].min == 0.25
+        assert a.values["w"].max == 3.0
+        c = metrics.MetricsCollector()
+        c.merge_dict(a.to_dict())
+        assert c.values["w"].count == 3
+        assert c.values["w"].total == a.values["w"].total
+
+    def test_values_key_absent_when_unused(self):
+        """Schema stability: old artifacts gain no key until recorded."""
+        collector = metrics.MetricsCollector()
+        collector.count("flow.runs")
+        assert "values" not in collector.to_dict()
+        collector.record_value("w", 1.0)
+        assert "values" in collector.to_dict()
+
+    def test_sim_wall_s_is_a_value_not_a_counter(self, library):
+        from repro.circuits import build_benchmark
+        from repro.flows import prepare_circuit
+        from repro.latches import SlavePlacement
+        from repro.sim import estimate_error_rate
+
+        netlist = build_benchmark("s1488", library)
+        _, circuit = prepare_circuit(netlist, library)
+        edl = {g.name for g in circuit.netlist.endpoints()}
+        collector = metrics.MetricsCollector()
+        with metrics.collect_into(collector):
+            estimate_error_rate(
+                circuit, SlavePlacement.initial(), edl, cycles=2
+            )
+        assert "sim.wall_s" not in collector.counters
+        assert collector.values["sim.wall_s"].count == 1
+        assert collector.counters["sim.cycles"] == 2

@@ -304,3 +304,32 @@ class TestValidate:
         netlist.add(Gate("g", GateType.COMB, ("a",), cell="INV_X1"))
         netlist.add(Gate("y", GateType.OUTPUT, ("a",)))
         assert dangling_gates(netlist) == ["g"]
+
+
+class TestTopoOrderCaching:
+    """``topo_order()`` returns the cached immutable tuple directly."""
+
+    def test_returns_same_tuple(self, tiny_netlist):
+        first = tiny_netlist.topo_order()
+        assert isinstance(first, tuple)
+        assert tiny_netlist.topo_order() is first
+
+    def test_rebuilds_after_mutation(self, library):
+        netlist = Netlist("t")
+        netlist.add(Gate("a", GateType.INPUT))
+        netlist.add(Gate("g", GateType.COMB, ("a",), cell="INV_X1"))
+        netlist.add(Gate("y", GateType.OUTPUT, ("g",)))
+        before = netlist.topo_order()
+        netlist.add(Gate("h", GateType.COMB, ("g",), cell="INV_X1"))
+        after = netlist.topo_order()
+        assert after is not before
+        assert "h" in after and "h" not in before
+
+    def test_counts_copies_avoided(self, tiny_netlist):
+        from repro import metrics
+
+        collector = metrics.MetricsCollector()
+        with metrics.collect_into(collector):
+            tiny_netlist.topo_order()
+            tiny_netlist.topo_order()
+        assert collector.counters["netlist.topo.copies_avoided"] == 2

@@ -6,8 +6,15 @@ Commands
     Show the benchmark circuits and their Table I profiles.
 ``run``
     Run one retiming flow on one circuit and print the outcome.
+    ``--from-bench``/``--from-verilog`` run on an external netlist
+    through the two-phase conversion front end instead.
 ``tables``
-    Regenerate the paper's tables on a circuit selection.
+    Regenerate the paper's tables on a circuit selection; external
+    netlists join the selection via ``--from-bench``/``--from-verilog``.
+``convert``
+    Convert an external flop netlist (ISCAS89 ``.bench`` or structural
+    Verilog) to two-phase latch-based form and print the conversion
+    report; ``--out`` writes the converted design back as Verilog.
 ``example``
     Print the Fig. 4 worked example.
 ``scenarios``
@@ -110,16 +117,49 @@ def _cmd_list(_: argparse.Namespace) -> int:
     return 0
 
 
+def _external_netlist(args: argparse.Namespace, library):
+    """Resolve ``--from-bench``/``--from-verilog`` to a netlist, or None."""
+    from repro.convert import load_netlist
+
+    sources = [
+        (path, fmt)
+        for path, fmt in (
+            (getattr(args, "from_bench", None), "bench"),
+            (getattr(args, "from_verilog", None), "verilog"),
+        )
+        if path
+    ]
+    if not sources:
+        return None
+    if len(sources) > 1 or getattr(args, "circuit", None):
+        raise ValueError(
+            "give exactly one of: a circuit name, --from-bench, or "
+            "--from-verilog"
+        )
+    path, fmt = sources[0]
+    return load_netlist(path, library, fmt=fmt)
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     if args.overhead < 0:
         raise ValueError("--overhead must be non-negative")
     library = default_library()
-    netlist = build_benchmark(args.circuit, library)
+    netlist = _external_netlist(args, library)
+    convert = None
+    if netlist is not None:
+        # External designs enter through the conversion front end.
+        convert = "two-phase"
+    elif args.circuit:
+        netlist = build_benchmark(args.circuit, library)
+    else:
+        raise ValueError(
+            "run needs a circuit name, --from-bench, or --from-verilog"
+        )
     scheme, _ = prepare_circuit(
         netlist, library, sta_mode=args.sta_mode,
-        sta_engine=args.sta_engine,
+        sta_engine=args.sta_engine, convert=convert,
     )
-    print(f"{args.circuit}: {netlist.stats()}")
+    print(f"{netlist.name}: {netlist.stats()}")
     print(
         f"clock: P={scheme.max_path_delay:.4f} Pi={scheme.period:.4f} "
         f"window={scheme.resiliency_window:.4f}"
@@ -129,7 +169,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
         guard=args.guard, sta_mode=args.sta_mode,
         sta_engine=args.sta_engine,
         retime_cache=args.retime_cache == "on",
+        convert=convert,
     )
+    if outcome.conversion is not None:
+        print(f"converted: {outcome.conversion.summary()}")
     print(outcome.summary())
     if args.guard and args.guard != "off":
         for record in outcome.guard_records:
@@ -156,14 +199,27 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_tables(args: argparse.Namespace) -> int:
-    circuits = args.circuits or ["s1196", "s1238", "s1423", "s1488"]
+    library = default_library()
+    external = []
+    for path in args.from_bench or []:
+        from repro.convert import load_netlist
+
+        external.append(load_netlist(path, library, fmt="bench"))
+    for path in args.from_verilog or []:
+        from repro.convert import load_netlist
+
+        external.append(load_netlist(path, library, fmt="verilog"))
+    circuits = list(args.circuits)
     if circuits == ["full"]:
         circuits = suite_names()
+    elif not circuits and not external:
+        circuits = ["s1196", "s1238", "s1423", "s1488"]
     jobs = max(1, args.jobs)
     collector = metrics.MetricsCollector()
     suite_started = time.perf_counter()
     suite = ExperimentSuite(
-        circuits=circuits,
+        circuits=circuits + [nl.name for nl in external],
+        library=library,
         error_rate_cycles=args.cycles,
         sim_backend=args.sim_backend,
         sta_mode=args.sta_mode,
@@ -174,6 +230,18 @@ def _cmd_tables(args: argparse.Namespace) -> int:
         checkpoint_every=8 if jobs > 1 else 1,
         retime_cache=args.retime_cache == "on",
     )
+    for nl in external:
+        # Validate through the conversion front end; the derived
+        # scheme is bit-identical to the suite's own recipe, so the
+        # seeded clock keeps converted and native sweeps comparable.
+        from repro.convert import convert_to_two_phase
+
+        design = convert_to_two_phase(
+            nl, library, sta_mode=args.sta_mode,
+            sta_engine=args.sta_engine,
+        )
+        suite.add_netlist(nl.name, nl, scheme=design.scheme)
+        print(f"converted: {design.report.summary()}", file=sys.stderr)
     producers = [
         ("table i", suite.table1),
         ("table ii", suite.table2),
@@ -359,6 +427,44 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_convert(args: argparse.Namespace) -> int:
+    from repro.convert import convert_to_two_phase, load_netlist
+
+    if args.overhead < 0:
+        raise ValueError("--overhead must be non-negative")
+    library = default_library()
+    netlist = load_netlist(
+        args.netlist, library, fmt=args.format, name=args.name
+    )
+    design = convert_to_two_phase(
+        netlist, library,
+        sta_mode=args.sta_mode, sta_engine=args.sta_engine,
+        balance=not args.no_balance,
+    )
+    report = design.report
+    print(f"{netlist.name}: {netlist.stats()}")
+    print(
+        f"clock: P={design.scheme.max_path_delay:.4f} "
+        f"Pi={design.scheme.period:.4f} "
+        f"window={design.scheme.resiliency_window:.4f}"
+    )
+    print(report.summary())
+    print(
+        f"sequential area: {report.flop_area_before:.2f} (flops) -> "
+        f"{report.latch_area_after:.2f} (latches); "
+        f"resilient floor at c={args.overhead}: "
+        f"{report.resilient_area(library, args.overhead):.2f}"
+    )
+    print(f"phase legality: {design.legality.summary()}")
+    if args.out:
+        from repro.netlist.verilog import write_verilog
+
+        with open(args.out, "w") as handle:
+            write_verilog(design.netlist, library, handle)
+        print(f"converted design written to {args.out}", file=sys.stderr)
+    return 0
+
+
 def _cmd_example(_: argparse.Namespace) -> int:
     import runpy
     from pathlib import Path
@@ -397,7 +503,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     run = sub.add_parser("run", help="run one flow on one circuit")
-    run.add_argument("circuit", help="benchmark name, e.g. s1196")
+    run.add_argument(
+        "circuit", nargs="?", default=None,
+        help="benchmark name, e.g. s1196 (omit when running an"
+             " external netlist via --from-bench/--from-verilog)",
+    )
+    run.add_argument(
+        "--from-bench", default=None, metavar="PATH",
+        help="run an external ISCAS89 .bench netlist through the"
+             " two-phase conversion front end",
+    )
+    run.add_argument(
+        "--from-verilog", default=None, metavar="PATH",
+        help="run an external structural-Verilog netlist through the"
+             " two-phase conversion front end",
+    )
     run.add_argument(
         "--method", default="grar", choices=list(METHODS)
     )
@@ -445,6 +565,16 @@ def build_parser() -> argparse.ArgumentParser:
     tables.add_argument(
         "--tables", nargs="*", default=None,
         help="filter, e.g. --tables 'table v' 'table viii'",
+    )
+    tables.add_argument(
+        "--from-bench", action="append", default=None, metavar="PATH",
+        help="add an external ISCAS89 .bench netlist to the circuit"
+             " selection (converted to two-phase form; repeatable)",
+    )
+    tables.add_argument(
+        "--from-verilog", action="append", default=None, metavar="PATH",
+        help="add an external structural-Verilog netlist to the"
+             " circuit selection (converted; repeatable)",
     )
     tables.add_argument("--cycles", type=int, default=128)
     tables.add_argument(
@@ -494,6 +624,51 @@ def build_parser() -> argparse.ArgumentParser:
              " (the bit-parity oracle)",
     )
     tables.set_defaults(func=_cmd_tables)
+
+    convert = sub.add_parser(
+        "convert",
+        help="convert a flop netlist to two-phase latch-based form",
+        description="Read an external flop netlist (ISCAS89 .bench or"
+        " structural Verilog), split each flop into a master/slave"
+        " latch pair, derive the two-phase clock from the critical"
+        " path, balance the initial slave placement, and validate the"
+        " phase-legality invariants.",
+    )
+    convert.add_argument(
+        "netlist", help="path to a .bench or .v netlist file"
+    )
+    convert.add_argument(
+        "--format", default="auto", choices=["auto", "bench", "verilog"],
+        help="input format (default: by file extension)",
+    )
+    convert.add_argument(
+        "--name", default=None,
+        help="circuit name override (default: file stem)",
+    )
+    convert.add_argument(
+        "--overhead", type=float, default=1.0,
+        help="EDL overhead c for the resilient-area floor line",
+    )
+    convert.add_argument(
+        "--no-balance", action="store_true",
+        help="keep every slave at its master's output (skip the"
+             " forward balancing through the mandatory region)",
+    )
+    convert.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write the converted design as structural Verilog",
+    )
+    convert.add_argument(
+        "--sta-mode", default="incremental",
+        choices=["incremental", "full"],
+        help=argparse.SUPPRESS,
+    )
+    convert.add_argument(
+        "--sta-engine", default="object",
+        choices=["object", "arena"],
+        help=argparse.SUPPRESS,
+    )
+    convert.set_defaults(func=_cmd_convert)
 
     sub.add_parser(
         "example", help="walk the paper's Fig. 4 worked example"

@@ -1,0 +1,35 @@
+"""Clocking-conversion front ends (flop → two-phase latch-based).
+
+The entry gate for conventional edge-triggered netlists: read them
+(:func:`load_netlist`), split each flop into a master/slave latch pair
+with an explicit phase assignment, derive the two-phase clock from the
+critical path, balance the initial slave placement, and validate the
+phase-legality invariants (:func:`convert_to_two_phase`) — after which
+the design is an ordinary G-RAR/VL-RAR workload.
+"""
+
+from repro.convert.phases import (
+    PHASE_MASTER,
+    PHASE_SLAVE,
+    PhaseAssignment,
+    PhaseLegalityReport,
+    check_phase_legality,
+    phase_counts,
+)
+from repro.convert.twophase import (
+    ConvertedDesign,
+    convert_to_two_phase,
+    load_netlist,
+)
+
+__all__ = [
+    "PHASE_MASTER",
+    "PHASE_SLAVE",
+    "PhaseAssignment",
+    "PhaseLegalityReport",
+    "check_phase_legality",
+    "phase_counts",
+    "ConvertedDesign",
+    "convert_to_two_phase",
+    "load_netlist",
+]

@@ -1,0 +1,195 @@
+"""Phase assignment and phase-legality checking for converted designs.
+
+A two-phase non-overlapping design partitions its sequential elements
+into the φ1 domain (masters: flop D/Q boundaries and the environment
+masters behind PIs/POs) and the φ2 domain (the slave latches sitting
+on cloud edges).  Legality is purely structural:
+
+* every sequential element carries a phase;
+* every master-to-master path crosses **exactly one** slave — zero
+  would be a φ1→φ1 (master-to-master) path, two a φ2→φ2 (same-phase
+  latch-to-latch) path, and both lose the non-overlap guarantee;
+* reconverging paths agree on the count (a fanin joining a crossed
+  path to an uncrossed one would clock the gate's inputs from
+  different phases).
+
+The check runs as a linear DP over the retiming labels
+(:meth:`repro.latches.placement.SlavePlacement.phase_domains`), so it
+is cheap enough for a strict guard checkpoint on every flow run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.latches.placement import SlavePlacement
+from repro.netlist.netlist import GateType, Netlist
+
+#: Phase labels used by :class:`PhaseAssignment`.
+PHASE_MASTER = "phi1"
+PHASE_SLAVE = "phi2"
+
+
+@dataclass(frozen=True)
+class PhaseAssignment:
+    """Explicit phase of every sequential element of a converted design.
+
+    ``masters`` are the φ1 elements (flops in their master role plus
+    the PO environment masters); ``slave_sites`` the φ2 slave latches
+    as ``(driver, fanout)`` pairs after fanout sharing — a driver name
+    for shared cloud latches, a source name for the per-master host
+    latches.
+    """
+
+    masters: Tuple[str, ...]
+    slave_sites: Tuple[Tuple[str, int], ...]
+
+    @property
+    def phase_of(self) -> Dict[str, str]:
+        """Element name → phase label (slaves keyed by driver name)."""
+        mapping = {name: PHASE_MASTER for name in self.masters}
+        for driver, _ in self.slave_sites:
+            # A flop's own name can appear as both a master (D side)
+            # and a slave driver (Q-side host latch); the slave entry
+            # is keyed with a suffix so neither shadows the other.
+            key = driver if driver not in mapping else f"{driver}__slave"
+            mapping[key] = PHASE_SLAVE
+        return mapping
+
+    @property
+    def n_masters(self) -> int:
+        return len(self.masters)
+
+    @property
+    def n_slaves(self) -> int:
+        return len(self.slave_sites)
+
+    @staticmethod
+    def from_placement(
+        netlist: Netlist, placement: SlavePlacement
+    ) -> "PhaseAssignment":
+        """Derive the assignment a placement implies."""
+        masters = tuple(
+            sorted(g.name for g in netlist.endpoints())
+        )
+        return PhaseAssignment(
+            masters=masters,
+            slave_sites=tuple(placement.latch_sites(netlist)),
+        )
+
+
+@dataclass
+class PhaseLegalityReport:
+    """Outcome of the structural phase-legality check."""
+
+    #: Nodes whose reconverging fanin paths disagree on slave count.
+    conflicts: List[str] = field(default_factory=list)
+    #: Cloud nodes past more than one slave (φ2→φ2 path upstream).
+    stacked: List[str] = field(default_factory=list)
+    #: Masters reached through ≥ 2 slaves (same-phase latch-to-latch).
+    overlatched_endpoints: List[str] = field(default_factory=list)
+    #: Masters reached through 0 slaves (master-to-master path).
+    unlatched_endpoints: List[str] = field(default_factory=list)
+    #: Sequential elements the assignment does not phase.
+    unphased: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when the design is phase-legal."""
+        return not (
+            self.conflicts
+            or self.stacked
+            or self.overlatched_endpoints
+            or self.unlatched_endpoints
+            or self.unphased
+        )
+
+    def problems(self) -> List[str]:
+        """Human-readable problem list (empty when legal)."""
+        out: List[str] = []
+        if self.conflicts:
+            out.append(
+                f"{len(self.conflicts)} nodes with phase-inconsistent "
+                f"reconvergence; first: {self.conflicts[0]!r}"
+            )
+        if self.stacked:
+            out.append(
+                f"{len(self.stacked)} nodes behind stacked slave "
+                f"latches; first: {self.stacked[0]!r}"
+            )
+        if self.overlatched_endpoints:
+            out.append(
+                f"{len(self.overlatched_endpoints)} masters behind a "
+                f"same-phase latch-to-latch path; first: "
+                f"{self.overlatched_endpoints[0]!r}"
+            )
+        if self.unlatched_endpoints:
+            out.append(
+                f"{len(self.unlatched_endpoints)} masters on a "
+                f"slave-free master-to-master path; first: "
+                f"{self.unlatched_endpoints[0]!r}"
+            )
+        if self.unphased:
+            out.append(
+                f"{len(self.unphased)} sequential elements without a "
+                f"phase; first: {self.unphased[0]!r}"
+            )
+        return out
+
+    def summary(self) -> str:
+        """One-line legality summary."""
+        return "phase-legal" if self.ok else "; ".join(self.problems())
+
+
+def check_phase_legality(
+    netlist: Netlist,
+    placement: SlavePlacement,
+    phases: Optional["PhaseAssignment"] = None,
+) -> PhaseLegalityReport:
+    """Check a placement's implied phasing against the invariants.
+
+    When ``phases`` is given, additionally verifies that every
+    sequential element of the netlist is covered by the assignment
+    (the "every sequential element phased" invariant).
+    """
+    report = PhaseLegalityReport()
+    domain, endpoint_domain, conflicts = placement.phase_domains(netlist)
+    report.conflicts = sorted(conflicts)
+    report.stacked = sorted(
+        name for name, count in domain.items() if count > 1
+    )
+    report.overlatched_endpoints = sorted(
+        name for name, count in endpoint_domain.items() if count > 1
+    )
+    report.unlatched_endpoints = sorted(
+        name for name, count in endpoint_domain.items() if count == 0
+    )
+    if phases is not None:
+        phased = set(phases.masters)
+        missing = [
+            g.name
+            for g in netlist.endpoints()
+            if g.name not in phased
+        ]
+        want_sites = set(placement.latch_sites(netlist))
+        have_sites = set(phases.slave_sites)
+        missing.extend(
+            f"slave@{driver}"
+            for driver, _ in sorted(want_sites - have_sites)
+        )
+        report.unphased = missing
+    return report
+
+
+def phase_counts(
+    netlist: Netlist, placement: SlavePlacement
+) -> Dict[str, int]:
+    """Masters/slaves per phase, for reports and tests."""
+    n_masters = len(
+        [g for g in netlist if g.gtype in (GateType.DFF, GateType.OUTPUT)]
+    )
+    return {
+        PHASE_MASTER: n_masters,
+        PHASE_SLAVE: placement.slave_count(netlist),
+    }

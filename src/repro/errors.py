@@ -111,6 +111,17 @@ class NetlistError(ReproError, ValueError):
         )
 
 
+class ConversionError(NetlistError):
+    """A flop netlist cannot be converted to a legal two-phase design.
+
+    Raised by :mod:`repro.convert` when the conversion front end finds
+    the design infeasible (Vm/Vn region conflicts, no timing paths) or
+    the resulting phase assignment illegal (same-phase latch-to-latch
+    paths, unphased sequential elements); ``payload`` carries the
+    offending nodes.
+    """
+
+
 class TimingError(ReproError, ValueError):
     """Timing queries or timing feasibility broke down."""
 

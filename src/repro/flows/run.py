@@ -26,6 +26,7 @@ from repro.clocks import ClockScheme, scheme_from_period
 from repro.core.engine import make_timing_engine
 from repro.errors import FlowStageError, stage_scope
 from repro.guard import CheckpointRecord, Guard, GuardPolicy
+from repro.latches.conversion import ConversionReport
 from repro.latches.resilient import EPS, SequentialCost, TwoPhaseCircuit
 from repro.netlist.netlist import Netlist
 from repro.retime.base import base_retime
@@ -76,6 +77,9 @@ class FlowOutcome:
     runtime_s: float
     guard_records: List[CheckpointRecord] = field(default_factory=list)
     solver_backend: str = ""
+    #: Set when the flow entered through the flop-to-two-phase
+    #: conversion front end (``convert="two-phase"``).
+    conversion: Optional[ConversionReport] = None
 
     @property
     def n_slaves(self) -> int:
@@ -115,6 +119,7 @@ def prepare_circuit(
     scheme: Optional[ClockScheme] = None,
     sta_mode: str = "incremental",
     sta_engine: str = "object",
+    convert: Optional[str] = None,
 ) -> Tuple[ClockScheme, TwoPhaseCircuit]:
     """Derive the clock from the flop design and build the two-phase view.
 
@@ -126,7 +131,25 @@ def prepare_circuit(
     ``sta_engine`` selects the timing-engine implementation: the
     object-graph reference (``"object"``) or the vectorized flat-array
     arena (``"arena"``) — bit-identical results, different cost.
+
+    ``convert="two-phase"`` routes an external flop netlist through
+    the conversion front end (:mod:`repro.convert`) instead: the same
+    clock recipe, plus feasibility and phase-legality validation — the
+    returned scheme/circuit are bit-identical to the direct path.
     """
+    if convert is not None:
+        if convert != "two-phase":
+            raise ValueError(
+                f"unknown conversion {convert!r}; only 'two-phase' is "
+                f"supported"
+            )
+        from repro.convert import convert_to_two_phase
+
+        design = convert_to_two_phase(
+            netlist, library, scheme=scheme, clock_margin=clock_margin,
+            model=model, sta_mode=sta_mode, sta_engine=sta_engine,
+        )
+        return design.scheme, design.circuit
     if scheme is None:
         engine = make_timing_engine(
             sta_engine, netlist, library, model=model,
@@ -159,8 +182,19 @@ def run_flow(
     sta_engine: str = "object",
     retime_cache: bool = True,
     harden_fraction: float = 0.5,
+    convert: Optional[str] = None,
 ) -> FlowOutcome:
     """Run one method end to end on a private copy of ``netlist``.
+
+    ``convert="two-phase"`` treats ``netlist`` as an external flop
+    design entering through the conversion front end: the clock is
+    derived by the conversion pass (validating region feasibility and
+    phase legality on the way, with a ``phase_legality`` guard
+    checkpoint), and the outcome carries the
+    :class:`~repro.latches.conversion.ConversionReport`.  The
+    conversion leaves the netlist structurally unchanged — the DFF
+    gate *is* the master/slave carrier — so a converted flow is
+    bit-identical to running the native path on the same netlist.
 
     ``harden_fraction`` applies to the ``"selective"`` method only:
     the fraction of the fragility-ranked window-violating masters
@@ -206,6 +240,23 @@ def run_flow(
         sentinel = Guard(guard, circuit_name=netlist.name)
 
     delay_model = model or ("gate" if method == "grar-gate" else "path")
+    conversion: Optional[ConversionReport] = None
+    if convert is not None:
+        if convert != "two-phase":
+            raise ValueError(
+                f"unknown conversion {convert!r}; only 'two-phase' is "
+                f"supported"
+            )
+        with stage_scope("convert", circuit=netlist.name):
+            from repro.convert import convert_to_two_phase
+
+            design = convert_to_two_phase(
+                netlist, library, scheme=scheme, model=delay_model,
+                sta_mode=sta_mode, sta_engine=sta_engine,
+            )
+            scheme = design.scheme
+            conversion = design.report
+            sentinel.phase_legality(netlist, design.placement, "convert")
     working = netlist.copy()
     with stage_scope("prepare", circuit=netlist.name):
         if method == "rvl-movable":
@@ -385,6 +436,7 @@ def run_flow(
             )
         sentinel.retiming_sane(circuit, retiming, "retime")
         sentinel.cut_legality(circuit, retiming.placement, "retime")
+        sentinel.phase_legality(working, retiming.placement, "retime")
 
     # Retiming decisions may use a conservative model (grar-gate), but
     # the final evaluation always uses the accurate path-based timing —
@@ -448,6 +500,7 @@ def run_flow(
         runtime_s=runtime_s,
         guard_records=sentinel.records,
         solver_backend=retiming.notes.get("solver_backend", solver),
+        conversion=conversion,
     )
 
 

@@ -215,6 +215,35 @@ class Guard:
             notes["window_overflows"] = len(report.window_overflows)
         return self._settle("cut_legality", stage, problems, notes)
 
+    def phase_legality(
+        self,
+        netlist: "Netlist",
+        placement: "SlavePlacement",
+        stage: str,
+    ) -> Optional[CheckpointRecord]:
+        """Structural two-phase legality of a placement.
+
+        Every master-to-master path must cross exactly one slave latch
+        (no same-phase latch-to-latch paths, no slave-free paths) and
+        reconverging paths must agree on the crossing count — the
+        invariants :mod:`repro.convert` establishes at conversion time
+        and every retiming move must preserve.
+        """
+        if not self.enabled:
+            return None
+        from repro.convert.phases import check_phase_legality
+
+        report = check_phase_legality(netlist, placement)
+        return self._settle(
+            "phase_legality",
+            stage,
+            report.problems(),
+            {
+                "n_conflicts": len(report.conflicts),
+                "n_unlatched": len(report.unlatched_endpoints),
+            },
+        )
+
     def retiming_sane(
         self,
         circuit: "TwoPhaseCircuit",

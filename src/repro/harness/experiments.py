@@ -186,6 +186,29 @@ class ExperimentSuite:
             self._netlists[name] = build_benchmark(name, self.library)
         return self._netlists[name]
 
+    def add_netlist(
+        self,
+        name: str,
+        netlist: Netlist,
+        scheme: Optional[ClockScheme] = None,
+    ) -> None:
+        """Register an external netlist as a suite circuit.
+
+        Converted designs (ISCAS89 ``.bench`` files, exported Verilog)
+        enter the suite here instead of through the generator; every
+        table producer, the overhead sweep, and the parallel harness
+        then treat ``name`` exactly like a built-in benchmark.  An
+        explicit ``scheme`` (e.g. the one the conversion front end
+        derived) pre-seeds the clock memo; omitted, the suite derives
+        it with the standard recipe — the two are bit-identical for
+        :func:`repro.convert.convert_to_two_phase` output.
+        """
+        self._netlists[name] = netlist
+        if scheme is not None:
+            self._schemes[name] = scheme
+        if name not in self.circuit_names:
+            self.circuit_names.append(name)
+
     def scheme(self, name: str) -> ClockScheme:
         """The (memoized) derived clock scheme for ``name``."""
         if name not in self._schemes:

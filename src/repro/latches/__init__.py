@@ -23,6 +23,7 @@ from repro.latches.resilient import (
 from repro.latches.conversion import (
     original_flop_report,
     flop_resilient_area,
+    ConversionReport,
     FlopDesignReport,
 )
 
@@ -34,5 +35,6 @@ __all__ = [
     "SequentialCost",
     "original_flop_report",
     "flop_resilient_area",
+    "ConversionReport",
     "FlopDesignReport",
 ]

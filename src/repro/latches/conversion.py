@@ -71,6 +71,63 @@ def original_flop_report(
     )
 
 
+@dataclass(frozen=True)
+class ConversionReport:
+    """Accounting for one flop-to-two-phase conversion (Section VI-D).
+
+    Produced by :func:`repro.convert.convert_to_two_phase`; pairs the
+    original flop design's characterization with the sequential state
+    of the converted latch-based design *before* any retiming method
+    runs — the Section VI-D comparison baselines both sides from here.
+    """
+
+    name: str
+    n_flops: int
+    n_inputs: int
+    n_outputs: int
+    n_masters: int
+    n_slaves: int
+    n_balanced: int
+    n_forced_edl: int
+    period: float
+    window: float
+    worst_arrival: float
+    comb_area: float
+    flop_area_before: float
+    latch_area_after: float
+
+    @property
+    def seq_area_delta(self) -> float:
+        """Sequential-area change from replacing flops with latches."""
+        return self.latch_area_after - self.flop_area_before
+
+    def resilient_area(self, library: Library, overhead: float) -> float:
+        """Converted-design area with EDL overhead on the forced set.
+
+        The conversion-time analogue of :func:`flop_resilient_area`:
+        masters with a combinational path longer than ``Pi`` must be
+        error-detecting no matter where retiming puts the slaves, so
+        the pre-retiming resilient-area floor charges ``c`` latch
+        units for each.
+        """
+        latch = library.default_latch().area
+        return (
+            self.comb_area
+            + self.latch_area_after
+            + self.n_forced_edl * overhead * latch
+        )
+
+    def summary(self) -> str:
+        """One-line human-readable conversion summary."""
+        return (
+            f"{self.name}: {self.n_flops} flops -> {self.n_masters} "
+            f"masters + {self.n_slaves} slaves "
+            f"({self.n_balanced} balanced forward), "
+            f"Pi={self.period:.4f} window={self.window:.4f}, "
+            f"{self.n_forced_edl} forced-EDL masters"
+        )
+
+
 def flop_resilient_area(
     report: FlopDesignReport, library: Library, overhead: float
 ) -> float:

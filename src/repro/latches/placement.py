@@ -135,6 +135,63 @@ class SlavePlacement:
                 bad.append((driver, sink))
         return bad
 
+    def phase_domains(
+        self, netlist: Netlist
+    ) -> Tuple[Dict[str, int], Dict[str, int], List[str]]:
+        """Slave-latch depth of every node, plus reconvergence conflicts.
+
+        The *phase domain* of a node is the number of slave latches
+        crossed on any master-to-here path: 0 means the node is still
+        in the φ1 (master-launched) half of the stage, 1 means it is
+        past its slave in the φ2 half.  In a legal two-phase design the
+        count is well-defined — every reconverging path agrees — and
+        lies in {0, 1}; master D pins must sit at exactly 1 (one slave
+        per master-to-master stage, never zero, never two).
+
+        Returns ``(domain, endpoint_domain, conflicts)``:
+
+        * ``domain`` — counts over the cloud (sources in their Q role
+          and combinational gates), the max over fanin paths;
+        * ``endpoint_domain`` — counts at the endpoints in their fixed
+          D-pin role (a flop appears in both dicts: its Q side starts
+          a new stage at the host edge, its D side terminates the
+          previous one);
+        * ``conflicts`` — nodes whose reconverging fanin paths disagree
+          on the count (a same-phase path joining a crossed one).
+
+        Counting saturates at 2, so stacked latches report 2 rather
+        than growing without bound.
+        """
+        domain: Dict[str, int] = {}
+        endpoint_domain: Dict[str, int] = {}
+        conflicts: List[str] = []
+
+        def through(driver: str, sink: str) -> int:
+            crossed = domain[driver]
+            if self.edge_weight_after(netlist, driver, sink) == 1:
+                crossed += 1
+            return min(crossed, 2)
+
+        for name in netlist.topo_order():
+            gate = netlist[name]
+            if gate.is_source:
+                domain[name] = self.edge_weight_after(netlist, HOST, name)
+                continue
+            if gate.gtype is GateType.OUTPUT:
+                continue  # endpoint role, second pass
+            counts = {through(driver, name) for driver in gate.fanins}
+            if len(counts) > 1:
+                conflicts.append(name)
+            domain[name] = max(counts)
+        # Endpoints in a second pass: a flop is topologically a source
+        # (Q role), so its D-side fanins may only settle later.
+        for gate in netlist.endpoints():
+            counts = {through(driver, gate.name) for driver in gate.fanins}
+            if len(counts) > 1:
+                conflicts.append(gate.name)
+            endpoint_domain[gate.name] = max(counts)
+        return domain, endpoint_domain, conflicts
+
     def copy(self) -> "SlavePlacement":
         """An independent copy of this placement."""
         return SlavePlacement(retimed=set(self.retimed))

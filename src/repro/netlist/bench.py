@@ -12,12 +12,20 @@ Format reference (pld.ttu.ee benchmark distribution)::
 Gates are mapped onto library cells through
 :class:`~repro.netlist.builder.NetlistBuilder`, so wide gates are
 decomposed into trees exactly as a technology mapper would.
+
+Parsing is *declare-then-resolve*: the first pass collects every
+declaration (with its source line) and rejects duplicates and
+conflicts; the second pass resolves every reference against the
+declared names before any gate is built.  Distribution ISCAS89 files
+are neither topologically sorted nor single-line (wide gates wrap
+their fanin lists across physical lines), so the parser accepts any
+line order and joins continuation lines until the parentheses balance.
 """
 
 from __future__ import annotations
 
 import re
-from typing import List, TextIO, Tuple, Union
+from typing import Dict, Iterator, List, TextIO, Tuple, Union
 
 from repro.cells.library import Library
 from repro.errors import NetlistError
@@ -50,6 +58,32 @@ class BenchParseError(NetlistError):
     """Raised on malformed ``.bench`` input."""
 
 
+def _logical_lines(text: str) -> Iterator[Tuple[int, str]]:
+    """Comment-stripped logical lines with their starting line number.
+
+    A gate whose fanin list wraps across physical lines (standard in
+    the distributed ISCAS89 files) is joined until its parentheses
+    balance; the reported line number is where the statement started.
+    """
+    pending = ""
+    pending_no = 0
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if pending:
+            pending = f"{pending} {line}"
+        else:
+            pending = line
+            pending_no = line_no
+        if pending.count("(") <= pending.count(")"):
+            yield pending_no, pending
+            pending = ""
+    if pending:
+        # Unbalanced at EOF; surface it through the normal line error.
+        yield pending_no, pending
+
+
 def parse_bench(
     source: Union[str, TextIO], library: Library, name: str = "bench"
 ) -> Netlist:
@@ -57,26 +91,50 @@ def parse_bench(
 
     ``OUTPUT(x)`` markers become OUTPUT gates named ``x__po`` driven by
     gate ``x`` (so a net can be both an output and an internal driver).
+
+    Raises :class:`BenchParseError` — with the offending source line —
+    on syntax errors, duplicate or conflicting declarations (a net
+    defined twice, an ``INPUT`` redefined as a gate, a repeated
+    ``OUTPUT`` marker), and references to names never defined.
     """
     if hasattr(source, "read"):
         text = source.read()
     else:
         text = source
 
-    inputs: List[str] = []
-    output_nets: List[str] = []
-    gate_lines: List[Tuple[str, str, List[str]]] = []
+    # -- pass 1: declare ----------------------------------------------
+    inputs: Dict[str, int] = {}
+    outputs: Dict[str, int] = {}
+    output_order: List[str] = []
+    gate_lines: Dict[str, Tuple[int, str, List[str]]] = {}
+    gate_order: List[str] = []
 
-    for line_no, raw in enumerate(text.splitlines(), start=1):
-        line = raw.split("#", 1)[0].strip()
-        if not line:
-            continue
+    for line_no, line in _logical_lines(text):
         match = _LINE_RE.match(line)
         if not match:
-            raise BenchParseError(f"line {line_no}: cannot parse {raw!r}")
+            raise BenchParseError(f"line {line_no}: cannot parse {line!r}")
         if match.group("io"):
-            target = inputs if match.group("io") == "INPUT" else output_nets
-            target.append(match.group("io_name"))
+            io_name = match.group("io_name")
+            if match.group("io") == "INPUT":
+                if io_name in inputs:
+                    raise BenchParseError(
+                        f"line {line_no}: INPUT({io_name}) already "
+                        f"declared at line {inputs[io_name]}"
+                    )
+                if io_name in gate_lines:
+                    raise BenchParseError(
+                        f"line {line_no}: INPUT({io_name}) conflicts with "
+                        f"the gate defined at line {gate_lines[io_name][0]}"
+                    )
+                inputs[io_name] = line_no
+            else:
+                if io_name in outputs:
+                    raise BenchParseError(
+                        f"line {line_no}: OUTPUT({io_name}) already "
+                        f"declared at line {outputs[io_name]}"
+                    )
+                outputs[io_name] = line_no
+                output_order.append(io_name)
             continue
         lhs = match.group("lhs")
         func = match.group("func").upper()
@@ -84,26 +142,58 @@ def parse_bench(
             raise BenchParseError(
                 f"line {line_no}: unknown function {func!r}"
             )
+        if lhs in gate_lines:
+            raise BenchParseError(
+                f"line {line_no}: gate {lhs!r} already defined at line "
+                f"{gate_lines[lhs][0]}"
+            )
+        if lhs in inputs:
+            raise BenchParseError(
+                f"line {line_no}: gate {lhs!r} redefines the INPUT "
+                f"declared at line {inputs[lhs]}"
+            )
         args = [a.strip() for a in match.group("args").split(",") if a.strip()]
         if not args:
             raise BenchParseError(f"line {line_no}: gate {lhs!r} has no fanin")
-        gate_lines.append((lhs, _FUNC_MAP[func], args))
+        if _FUNC_MAP[func] == "DFF" and len(args) != 1:
+            raise BenchParseError(
+                f"line {line_no}: flop {lhs!r} needs one fanin, "
+                f"got {len(args)}"
+            )
+        gate_lines[lhs] = (line_no, _FUNC_MAP[func], args)
+        gate_order.append(lhs)
+
+    # -- pass 2: resolve ----------------------------------------------
+    defined = set(inputs) | set(gate_lines)
+    for lhs in gate_order:
+        line_no, _, args = gate_lines[lhs]
+        for arg in args:
+            if arg not in defined:
+                raise BenchParseError(
+                    f"line {line_no}: gate {lhs!r} reads {arg!r}, "
+                    f"which is never defined"
+                )
+    for po, line_no in outputs.items():
+        if po not in defined:
+            raise BenchParseError(
+                f"line {line_no}: OUTPUT({po}) names a net that is "
+                f"never defined"
+            )
 
     builder = NetlistBuilder(name, library)
     for pi in inputs:
         builder.input(pi)
-    # Flops must exist before gates that read their Q; declare them
-    # first (their D drivers are resolved after all gates exist, which
-    # the Gate tuple model handles since fanins are by-name).
-    for lhs, func, args in gate_lines:
+    # Flops first, then combinational gates, both in declaration order
+    # (fanins are by-name, so the builder needs no topological sort).
+    for lhs in gate_order:
+        _, func, args = gate_lines[lhs]
         if func == "DFF":
-            if len(args) != 1:
-                raise BenchParseError(f"flop {lhs!r} needs one fanin")
             builder.flop(lhs, args[0])
-    for lhs, func, args in gate_lines:
+    for lhs in gate_order:
+        _, func, args = gate_lines[lhs]
         if func != "DFF":
             builder.gate(lhs, func, args)
-    for po in output_nets:
+    for po in output_order:
         builder.output(f"{po}__po", po)
     return builder.build()
 

@@ -64,6 +64,15 @@ def write_verilog(
                     f"gate {gate.name!r}: cell {gate.cell!r} is not "
                     f"combinational"
                 )
+            if len(gate.fanins) != len(cell.inputs):
+                # A zip() here used to silently drop pins on mismatch,
+                # emitting structurally wrong (yet legal-looking)
+                # Verilog; the arity contract is the cell's.
+                raise VerilogError(
+                    f"gate {gate.name!r}: cell {cell.name!r} has "
+                    f"{len(cell.inputs)} input pins but the gate has "
+                    f"{len(gate.fanins)} fanins"
+                )
             pins = ", ".join(
                 f".{pin}({driver})"
                 for pin, driver in zip(cell.inputs, gate.fanins)
@@ -137,58 +146,119 @@ def parse_verilog(
     for kind, names in _DECL_RE.findall(body):
         nets = [n.strip() for n in names.split(",") if n.strip()]
         if kind == "input":
-            inputs.extend(nets)
+            for net in nets:
+                if net in inputs:
+                    raise VerilogError(f"input {net!r} declared twice")
+                inputs.append(net)
         elif kind == "output":
-            outputs.extend(nets)
+            for net in nets:
+                if net in outputs:
+                    raise VerilogError(f"output {net!r} declared twice")
+                outputs.append(net)
 
     assigns: Dict[str, str] = {}
     for match in _ASSIGN_RE.finditer(body):
+        if match.group("lhs") in assigns:
+            raise VerilogError(
+                f"net {match.group('lhs')!r} has two assign drivers"
+            )
         assigns[match.group("lhs")] = match.group("rhs")
 
     netlist = Netlist(name)
     for net in inputs:
         if net == "clk":
             continue
+        if net in netlist:
+            raise VerilogError(f"input {net!r} declared twice")
         netlist.add(Gate(net, GateType.INPUT))
+
+    #: Which instance drives each net, for duplicate-driver diagnostics.
+    driver_of: Dict[str, str] = {net: "input port" for net in inputs}
+
+    def _claim_net(out_net: str, inst: str) -> None:
+        if out_net in driver_of:
+            raise VerilogError(
+                f"instance {inst!r} drives net {out_net!r}, already "
+                f"driven by {driver_of[out_net]}"
+            )
+        driver_of[out_net] = f"instance {inst!r}"
 
     body_wo_assigns = _ASSIGN_RE.sub("", body)
     body_wo_decls = _DECL_RE.sub("", body_wo_assigns)
+    instance_of: Dict[str, str] = {}
     for match in _INSTANCE_RE.finditer(body_wo_decls):
         cell_name = match.group("cell")
+        inst = match.group("inst")
         if cell_name not in library:
             raise VerilogError(f"unknown cell {cell_name!r}")
         cell = library[cell_name]
         pins = dict(_PIN_RE.findall(match.group("conns")))
         if isinstance(cell, CombCell):
+            known = set(cell.inputs) | {cell.output}
             try:
                 fanins = tuple(pins[pin] for pin in cell.inputs)
                 out_net = pins[cell.output]
             except KeyError as exc:
                 raise VerilogError(
-                    f"instance {match.group('inst')!r}: missing pin {exc}"
+                    f"instance {inst!r}: missing pin {exc}"
                 ) from None
+            unknown = sorted(set(pins) - known)
+            if unknown:
+                raise VerilogError(
+                    f"instance {inst!r}: cell {cell.name!r} has no pin "
+                    f"{unknown[0]!r}"
+                )
+            _claim_net(out_net, inst)
             netlist.add(
                 Gate(out_net, GateType.COMB, fanins, cell=cell.name)
             )
         elif isinstance(cell, SequentialCell):
+            known = {cell.data_pin, cell.clock_pin, cell.output}
             try:
                 data = pins[cell.data_pin]
                 out_net = pins[cell.output]
             except KeyError as exc:
                 raise VerilogError(
-                    f"instance {match.group('inst')!r}: missing pin {exc}"
+                    f"instance {inst!r}: missing pin {exc}"
                 ) from None
+            unknown = sorted(set(pins) - known)
+            if unknown:
+                raise VerilogError(
+                    f"instance {inst!r}: cell {cell.name!r} has no pin "
+                    f"{unknown[0]!r}"
+                )
+            _claim_net(out_net, inst)
             netlist.add(
                 Gate(out_net, GateType.DFF, (data,), cell=cell.name)
             )
         else:  # pragma: no cover - library has only these kinds
             raise VerilogError(f"unsupported cell kind {cell_name!r}")
+        instance_of[out_net] = inst
 
     for net in outputs:
         driver = assigns.get(net, net)
         if driver == net:
             raise VerilogError(f"output {net!r} has no assign driver")
+        if net in netlist:
+            raise VerilogError(
+                f"output {net!r} is already driven by "
+                f"{driver_of.get(net, 'another gate')}"
+            )
         netlist.add(Gate(net, GateType.OUTPUT, (driver,)))
 
-    netlist.topo_order()  # validate connectivity
+    # Resolve every reference before handing the netlist out: a raw
+    # KeyError from deep inside the topological rebuild names neither
+    # the instance nor the file, this does.
+    for gate in netlist:
+        for fanin in gate.fanins:
+            if fanin not in netlist:
+                where = (
+                    f"instance {instance_of[gate.name]!r}"
+                    if gate.name in instance_of
+                    else f"output {gate.name!r}"
+                )
+                raise VerilogError(
+                    f"{where} reads net {fanin!r}, which nothing drives"
+                )
+    netlist.topo_order()  # validate connectivity (cycles)
     return netlist

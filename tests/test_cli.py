@@ -1,8 +1,12 @@
 """Tests for the command-line interface."""
 
+import os
+
 import pytest
 
 from repro.cli import build_parser, main
+
+S27 = os.path.join(os.path.dirname(__file__), "data", "s27.bench")
 
 
 class TestParser:
@@ -18,6 +22,43 @@ class TestParser:
     def test_method_choices_enforced(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "s1196", "--method", "magic"])
+
+    def test_run_circuit_is_optional(self):
+        args = build_parser().parse_args(
+            ["run", "--from-bench", "x.bench"]
+        )
+        assert args.circuit is None
+        assert args.from_bench == "x.bench"
+
+    def test_run_from_verilog(self):
+        args = build_parser().parse_args(
+            ["run", "--from-verilog", "x.v", "--guard", "strict"]
+        )
+        assert args.from_verilog == "x.v"
+        assert args.guard == "strict"
+
+    def test_tables_external_files_accumulate(self):
+        args = build_parser().parse_args(
+            ["tables", "s1196", "--from-bench", "a.bench",
+             "--from-bench", "b.bench", "--from-verilog", "c.v"]
+        )
+        assert args.circuits == ["s1196"]
+        assert args.from_bench == ["a.bench", "b.bench"]
+        assert args.from_verilog == ["c.v"]
+
+    def test_convert_defaults(self):
+        args = build_parser().parse_args(["convert", "s27.bench"])
+        assert args.netlist == "s27.bench"
+        assert args.format == "auto"
+        assert args.name is None
+        assert not args.no_balance
+        assert args.out is None
+
+    def test_convert_format_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["convert", "x.bench", "--format", "edif"]
+            )
 
 
 class TestCommands:
@@ -51,3 +92,11 @@ class TestCommands:
         assert main(["example"]) == 0
         out = capsys.readouterr().out
         assert "Cut2" in out
+
+    def test_tables_with_external_bench(self, capsys):
+        assert main(
+            ["tables", "--from-bench", S27, "--tables", "table iv"]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "s27" in captured.out
+        assert "converted: s27" in captured.err

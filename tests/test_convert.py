@@ -1,0 +1,429 @@
+"""Tests for the flop-to-two-phase conversion front end.
+
+The two oracles the ISSUE pins down:
+
+* exported-then-converted Table-I circuits reproduce the native
+  two-phase G-RAR outcomes bit-identically;
+* an external ISCAS89 ``.bench`` file runs ``run_flow("grar")`` end to
+  end under strict guards.
+
+Plus the structural phase-legality invariants, the guard checkpoint,
+and the netlist loader.
+"""
+
+import io
+import os
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.cells import default_library
+from repro.circuits.generator import CloudSpec, generate_circuit
+from repro.clocks import scheme_from_period
+from repro.convert import (
+    PHASE_MASTER,
+    PHASE_SLAVE,
+    PhaseAssignment,
+    check_phase_legality,
+    convert_to_two_phase,
+    load_netlist,
+    phase_counts,
+)
+from repro.errors import ConversionError, NetlistError
+from repro.flows import prepare_circuit, run_flow
+from repro.guard import Guard
+from repro.latches import SlavePlacement
+from repro.netlist import NetlistBuilder
+from repro.netlist.bench import parse_bench
+from repro.netlist.verilog import parse_verilog, verilog_text
+
+LIBRARY = default_library()
+
+DATA = os.path.join(os.path.dirname(__file__), "data")
+S27 = os.path.join(DATA, "s27.bench")
+
+SEEDS = st.integers(min_value=1, max_value=10**6)
+SLOW = settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def make_netlist(seed, flops=8, gates=90, depth=6):
+    spec = CloudSpec(
+        name=f"conv{seed}",
+        seed=seed,
+        n_inputs=4,
+        n_outputs=3,
+        n_flops=flops,
+        n_gates=gates,
+        depth=depth,
+        critical_fraction=0.3,
+    )
+    return generate_circuit(spec, LIBRARY)
+
+
+class TestLoadNetlist:
+    def test_bench_by_extension(self, library):
+        netlist = load_netlist(S27, library)
+        assert netlist.name == "s27"
+        assert netlist.stats()["flops"] == 3
+
+    def test_verilog_by_extension(self, tmp_path, small_netlist, library):
+        path = tmp_path / "unit.v"
+        path.write_text(verilog_text(small_netlist, library))
+        netlist = load_netlist(path, library)
+        assert netlist.stats() == small_netlist.stats()
+
+    def test_explicit_format_overrides(self, tmp_path, library):
+        path = tmp_path / "weird.txt"
+        path.write_text(open(S27).read())
+        netlist = load_netlist(path, library, fmt="bench", name="s27")
+        assert netlist.name == "s27"
+
+    def test_unknown_extension_rejected(self, tmp_path, library):
+        path = tmp_path / "design.xyz"
+        path.write_text("INPUT(a)\n")
+        with pytest.raises(ConversionError, match="format"):
+            load_netlist(path, library)
+
+    def test_unknown_format_rejected(self, tmp_path, library):
+        path = tmp_path / "design.bench"
+        path.write_text("INPUT(a)\n")
+        with pytest.raises(ConversionError, match="unknown netlist format"):
+            load_netlist(path, library, fmt="edif")
+
+
+class TestConversion:
+    def test_s27_converts(self, library):
+        design = convert_to_two_phase(load_netlist(S27, library), library)
+        report = design.report
+        assert report.n_flops == 3
+        # Masters: 3 flop D pins + 1 PO environment master.
+        assert report.n_masters == 4
+        assert report.n_slaves >= report.n_flops
+        assert design.legality.ok
+        assert design.phases.n_masters == report.n_masters
+        assert design.phases.n_slaves == report.n_slaves
+        assert "s27" in report.summary()
+
+    def test_scheme_matches_native_recipe(self, small_netlist, library):
+        design = convert_to_two_phase(small_netlist, library)
+        scheme, _ = prepare_circuit(small_netlist, library)
+        assert design.scheme == scheme
+
+    def test_prepare_circuit_convert_routes_through(
+        self, small_netlist, library
+    ):
+        direct, _ = prepare_circuit(small_netlist, library)
+        converted, circuit = prepare_circuit(
+            small_netlist, library, convert="two-phase"
+        )
+        assert converted == direct
+        assert circuit.scheme == direct
+
+    def test_prepare_circuit_rejects_unknown_conversion(
+        self, small_netlist, library
+    ):
+        with pytest.raises(ValueError, match="two-phase"):
+            prepare_circuit(small_netlist, library, convert="four-phase")
+
+    def test_balanced_placement_is_region_vm(self, small_netlist, library):
+        design = convert_to_two_phase(small_netlist, library)
+        assert design.placement.retimed == design.circuit.region_vm()
+        assert design.report.n_balanced == len(design.placement.retimed)
+
+    def test_unbalanced_keeps_slaves_home(self, library):
+        design = convert_to_two_phase(
+            load_netlist(S27, library), library, balance=False
+        )
+        assert design.placement.retimed == set()
+        assert design.legality.ok
+
+    def test_empty_cloud_rejected(self, library):
+        builder = NetlistBuilder("empty", library)
+        builder.input("a")
+        netlist = builder.build()
+        with pytest.raises(ConversionError, match="nothing to phase"):
+            convert_to_two_phase(netlist, library)
+
+    def test_region_conflict_rejected(self, small_netlist, library):
+        # A clock far too tight for the logic depth makes some node
+        # both must-retime (7) and must-not-retime (6).
+        _, circuit = prepare_circuit(small_netlist, library)
+        tight = scheme_from_period(circuit.engine.worst_arrival() * 0.3)
+        with pytest.raises(ConversionError, match="no legal slave"):
+            convert_to_two_phase(small_netlist, library, scheme=tight)
+
+    def test_conversion_error_is_netlist_error(self, library):
+        # The CLI maps NetlistError to exit code 3; conversion
+        # failures must ride the same rail.
+        assert issubclass(ConversionError, NetlistError)
+
+    def test_report_accounting(self, library):
+        netlist = load_netlist(S27, library)
+        design = convert_to_two_phase(netlist, library)
+        report = design.report
+        latch = library.default_latch().area
+        expected = (report.n_masters + report.n_slaves) * latch
+        assert report.latch_area_after == pytest.approx(expected)
+        assert report.flop_area_before == pytest.approx(
+            netlist.flop_area(library)
+        )
+        assert report.seq_area_delta == pytest.approx(
+            report.latch_area_after - report.flop_area_before
+        )
+        # The resilient floor adds c per forced-EDL master.
+        base = report.resilient_area(library, 0.0)
+        assert report.resilient_area(library, 1.0) == pytest.approx(
+            base + report.n_forced_edl * latch
+        )
+
+
+class TestPhaseLegality:
+    def test_initial_placement_legal(self, small_netlist, library):
+        report = check_phase_legality(
+            small_netlist, SlavePlacement.initial()
+        )
+        assert report.ok
+        assert report.summary() == "phase-legal"
+
+    def test_counts(self, small_netlist):
+        counts = phase_counts(small_netlist, SlavePlacement.initial())
+        endpoints = len(small_netlist.endpoints())
+        assert counts[PHASE_MASTER] == endpoints
+        assert counts[PHASE_SLAVE] == len(small_netlist.sources())
+
+    def test_negative_cut_reported(self, library):
+        # Retiming through g2 without retiming g1 leaves the g1->g2
+        # edge with weight -1 and mints a fresh latch on g2->y, so the
+        # endpoint sits behind both the host latch and the minted one.
+        builder = NetlistBuilder("chain", library)
+        builder.input("a")
+        builder.gate("g1", "INV", ["a"])
+        builder.gate("g2", "INV", ["g1"])
+        builder.output("y", "g2")
+        netlist = builder.build()
+        placement = SlavePlacement(retimed={"g2"})
+        assert placement.check_nonnegative(netlist)
+        report = check_phase_legality(netlist, placement)
+        assert not report.ok
+        assert report.overlatched_endpoints == ["y"]
+
+    def test_reconvergence_conflict_reported(self, library):
+        # One branch retimed, the other not: the reconverging gate
+        # sees fanins at different slave depths.
+        builder = NetlistBuilder("reconv", library)
+        builder.input("a")
+        builder.gate("g1", "INV", ["a"])
+        builder.gate("g2", "INV", ["a"])
+        builder.gate("g3", "NAND", ["g1", "g2"])
+        builder.output("y", "g3")
+        netlist = builder.build()
+        placement = SlavePlacement(retimed={"g1"})
+        report = check_phase_legality(netlist, placement)
+        assert "g3" in report.conflicts
+        assert not report.ok
+
+    def test_unphased_elements_reported(self, small_netlist):
+        placement = SlavePlacement.initial()
+        full = PhaseAssignment.from_placement(small_netlist, placement)
+        truncated = PhaseAssignment(
+            masters=full.masters[1:], slave_sites=full.slave_sites[1:]
+        )
+        report = check_phase_legality(small_netlist, placement, truncated)
+        assert len(report.unphased) == 2
+        assert not report.ok
+
+    def test_phase_of_covers_both_roles(self, library):
+        netlist = load_netlist(S27, library)
+        placement = SlavePlacement.initial()
+        phases = PhaseAssignment.from_placement(netlist, placement)
+        phase_of = phases.phase_of
+        # A flop is a phi1 master on its D side and carries a phi2
+        # slave on its Q side; both must be present.
+        assert phase_of["G5"] == PHASE_MASTER
+        assert phase_of["G5__slave"] == PHASE_SLAVE
+        assert phase_of["G0"] == PHASE_SLAVE  # PI host latch
+
+    @given(SEEDS)
+    @SLOW
+    def test_any_nonnegative_placement_is_phase_legal(self, seed):
+        # The telescoping identity: along any host->v path the retimed
+        # weight sums to 1 + r(v), so every placement with r in {-1,0}
+        # and non-negative edges is automatically phase-legal.
+        netlist = make_netlist(seed)
+        _, circuit = prepare_circuit(netlist, LIBRARY)
+        placement = SlavePlacement(retimed=circuit.region_vm())
+        assert not placement.check_nonnegative(netlist)
+        report = check_phase_legality(netlist, placement)
+        assert report.ok, report.summary()
+
+    @given(SEEDS)
+    @SLOW
+    def test_random_conversion_legal_and_scheme_exact(self, seed):
+        netlist = make_netlist(seed, flops=6, gates=70, depth=5)
+        design = convert_to_two_phase(netlist, LIBRARY)
+        assert design.legality.ok
+        scheme, _ = prepare_circuit(netlist, LIBRARY)
+        assert design.scheme == scheme
+        counts = phase_counts(netlist, design.placement)
+        assert counts[PHASE_MASTER] == design.phases.n_masters
+        assert counts[PHASE_SLAVE] == design.phases.n_slaves
+
+
+class TestGuardCheckpoint:
+    def test_checkpoint_passes_on_legal_cut(self, small_netlist):
+        guard = Guard("strict", circuit_name="unit")
+        record = guard.phase_legality(
+            small_netlist, SlavePlacement.initial(), "convert"
+        )
+        assert record.ok
+
+    def test_checkpoint_raises_in_strict(self, library):
+        from repro.errors import InvariantError
+
+        builder = NetlistBuilder("chain", library)
+        builder.input("a")
+        builder.gate("g1", "INV", ["a"])
+        builder.gate("g2", "INV", ["g1"])
+        builder.output("y", "g2")
+        netlist = builder.build()
+        guard = Guard("strict", circuit_name="chain")
+        with pytest.raises(InvariantError, match="phase_legality"):
+            guard.phase_legality(
+                netlist, SlavePlacement(retimed={"g2"}), "retime"
+            )
+
+    def test_checkpoint_records_in_warn(self, library):
+        builder = NetlistBuilder("chain", library)
+        builder.input("a")
+        builder.gate("g1", "INV", ["a"])
+        builder.gate("g2", "INV", ["g1"])
+        builder.output("y", "g2")
+        netlist = builder.build()
+        guard = Guard("warn")
+        record = guard.phase_legality(
+            netlist, SlavePlacement(retimed={"g2"}), "retime"
+        )
+        assert not record.ok
+        assert guard.violations
+
+
+class TestFlowIntegration:
+    def test_s27_grar_end_to_end_strict(self, library):
+        # Acceptance: an external ISCAS89 .bench runs run_flow("grar")
+        # end to end under strict guards.
+        netlist = load_netlist(S27, library)
+        outcome = run_flow(
+            "grar", netlist, library, 1.0,
+            guard="strict", convert="two-phase",
+        )
+        assert outcome.conversion is not None
+        assert outcome.conversion.n_flops == 3
+        assert outcome.cost.n_slaves >= 0
+        checkpoints = {r.checkpoint for r in outcome.guard_records}
+        assert "phase_legality" in checkpoints
+        assert all(r.ok for r in outcome.guard_records)
+
+    def test_converted_flow_matches_native(self, small_netlist, library):
+        native = run_flow("grar", small_netlist, library, 1.0)
+        converted = run_flow(
+            "grar", small_netlist, library, 1.0, convert="two-phase"
+        )
+        assert converted.cost == native.cost
+        assert converted.edl_endpoints == native.edl_endpoints
+        assert (
+            converted.retiming.placement.retimed
+            == native.retiming.placement.retimed
+        )
+        assert converted.total_area == native.total_area
+        assert converted.conversion is not None
+        assert native.conversion is None
+
+    def test_run_flow_rejects_unknown_conversion(
+        self, small_netlist, library
+    ):
+        with pytest.raises(ValueError, match="two-phase"):
+            run_flow(
+                "grar", small_netlist, library, 1.0, convert="flux"
+            )
+
+    def test_export_convert_bit_parity_s1196(self, s1196, library):
+        # Acceptance oracle: a Table-I circuit exported to Verilog,
+        # re-parsed, and run through the conversion front end must
+        # reproduce the native two-phase G-RAR outcome bit-identically.
+        text = verilog_text(s1196, library)
+        back = parse_verilog(io.StringIO(text), library)
+        native = run_flow("grar", s1196, library, 1.0)
+        converted = run_flow(
+            "grar", back, library, 1.0, convert="two-phase"
+        )
+        assert converted.cost == native.cost
+        assert converted.edl_endpoints == native.edl_endpoints
+        assert (
+            converted.retiming.placement.retimed
+            == native.retiming.placement.retimed
+        )
+        assert converted.sequential_area == native.sequential_area
+        assert converted.total_area == native.total_area
+
+
+class TestSuiteIntegration:
+    def test_add_netlist_joins_suite(self, library):
+        from repro.harness import ExperimentSuite
+
+        netlist = load_netlist(S27, library)
+        design = convert_to_two_phase(netlist, library)
+        suite = ExperimentSuite(circuits=["s1196"], library=library)
+        suite.add_netlist("s27", netlist, scheme=design.scheme)
+        assert "s27" in suite.circuit_names
+        assert suite.netlist("s27") is netlist
+        assert suite.scheme("s27") == design.scheme
+        outcome = suite.outcome("s27", "base", 1.0)
+        assert outcome.circuit_name == "s27"
+
+
+class TestCli:
+    def test_convert_command(self, capsys):
+        from repro.cli import main
+
+        assert main(["convert", S27]) == 0
+        out = capsys.readouterr().out
+        assert "phase legality: phase-legal" in out
+        assert "3 flops -> 4 masters" in out
+
+    def test_convert_writes_verilog(self, tmp_path, capsys, library):
+        from repro.cli import main
+
+        out_path = tmp_path / "s27.v"
+        assert main(["convert", S27, "--out", str(out_path)]) == 0
+        back = parse_verilog(out_path.read_text(), library)
+        assert back.stats()["flops"] == 3
+
+    def test_run_from_bench(self, capsys):
+        from repro.cli import main
+
+        assert main(
+            ["run", "--from-bench", S27, "--method", "grar",
+             "--guard", "strict"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "converted: s27" in out
+        assert "grar[s27" in out
+
+    def test_run_rejects_circuit_plus_file(self, capsys):
+        from repro.cli import main
+
+        assert main(["run", "s1196", "--from-bench", S27]) == 2
+
+    def test_run_requires_some_input(self, capsys):
+        from repro.cli import main
+
+        assert main(["run"]) == 2
+
+    def test_convert_missing_file_exits_netlist(self, capsys):
+        from repro.cli import main
+
+        assert main(["convert", "/nonexistent/x.bench"]) == 3

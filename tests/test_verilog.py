@@ -3,13 +3,25 @@
 import io
 
 import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
 
-from repro.netlist import validate
+from repro.cells import default_library
+from repro.circuits.generator import CloudSpec, generate_circuit
+from repro.netlist import Gate, GateType, Netlist, validate
 from repro.netlist.verilog import (
     VerilogError,
     parse_verilog,
     verilog_text,
     write_verilog,
+)
+
+LIBRARY = default_library()
+
+SEEDS = st.integers(min_value=1, max_value=10**6)
+SLOW = settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
 )
 
 
@@ -96,6 +108,197 @@ class TestParserErrors:
         text = "// header comment\n/* block\ncomment */\n" + text
         again = parse_verilog(text, library)
         assert again.stats() == tiny_netlist.stats()
+
+
+class TestWriterArity:
+    """Regression: arity mismatches used to be silently truncated.
+
+    ``zip(cell.inputs, gate.fanins)`` stopped at the shorter list, so a
+    3-pin cell on a 2-fanin gate emitted legal-looking Verilog with a
+    floating pin.  The writer must refuse instead, naming the gate and
+    both arities.
+    """
+
+    @staticmethod
+    def _netlist_with(cell, n_fanins):
+        netlist = Netlist("bad")
+        fanins = tuple(f"a{i}" for i in range(n_fanins))
+        for name in fanins:
+            netlist.add(Gate(name, GateType.INPUT))
+        netlist.add(Gate("g", GateType.COMB, fanins, cell=cell))
+        netlist.add(Gate("y", GateType.OUTPUT, ("g",)))
+        return netlist
+
+    def test_cell_wider_than_gate_rejected(self, library):
+        netlist = self._netlist_with("NAND3_X1", 2)
+        with pytest.raises(
+            VerilogError,
+            match="has 3 input pins but the gate has 2 fanins",
+        ):
+            verilog_text(netlist, library)
+
+    def test_gate_wider_than_cell_rejected(self, library):
+        netlist = self._netlist_with("INV_X1", 2)
+        with pytest.raises(
+            VerilogError,
+            match="has 1 input pins but the gate has 2 fanins",
+        ):
+            verilog_text(netlist, library)
+
+    def test_error_names_gate_and_cell(self, library):
+        netlist = self._netlist_with("NAND3_X1", 2)
+        with pytest.raises(VerilogError, match="'g'.*'NAND3_X1'"):
+            verilog_text(netlist, library)
+
+    def test_matching_arity_still_writes(self, library):
+        netlist = self._netlist_with("NAND2_X1", 2)
+        assert "NAND2_X1 u_g" in verilog_text(netlist, library)
+
+
+class TestParserDuplicates:
+    HEADER = "module m (a, y, clk); input a; input clk; output y;\n"
+
+    def test_duplicate_input_declaration(self, library):
+        text = (
+            "module m (a, y, clk); input a; input a; input clk; "
+            "output y;\nassign y = a;\nendmodule\n"
+        )
+        with pytest.raises(VerilogError, match="input 'a' declared twice"):
+            parse_verilog(text, library)
+
+    def test_duplicate_output_declaration(self, library):
+        text = (
+            "module m (a, y, clk); input a; input clk; output y; "
+            "output y;\nassign y = a;\nendmodule\n"
+        )
+        with pytest.raises(VerilogError, match="output 'y' declared twice"):
+            parse_verilog(text, library)
+
+    def test_duplicate_assign_driver(self, library):
+        text = (
+            self.HEADER
+            + "assign y = a;\nassign y = a;\nendmodule\n"
+        )
+        with pytest.raises(
+            VerilogError, match="net 'y' has two assign drivers"
+        ):
+            parse_verilog(text, library)
+
+    def test_duplicate_instance_output_names_both(self, library):
+        text = (
+            self.HEADER
+            + "wire n;\n"
+            + "INV_X1 u1 (.A(a), .Z(n));\n"
+            + "INV_X1 u2 (.A(a), .Z(n));\n"
+            + "assign y = n;\nendmodule\n"
+        )
+        with pytest.raises(
+            VerilogError,
+            match="instance 'u2' drives net 'n', already driven by "
+                  "instance 'u1'",
+        ):
+            parse_verilog(text, library)
+
+    def test_instance_driving_input_port_rejected(self, library):
+        text = (
+            self.HEADER
+            + "INV_X1 u1 (.A(a), .Z(a));\n"
+            + "assign y = a;\nendmodule\n"
+        )
+        with pytest.raises(
+            VerilogError, match="already driven by input port"
+        ):
+            parse_verilog(text, library)
+
+    def test_output_already_driven_names_instance(self, library):
+        text = (
+            self.HEADER
+            + "INV_X1 u1 (.A(a), .Z(y));\n"
+            + "assign y = a;\nendmodule\n"
+        )
+        with pytest.raises(
+            VerilogError,
+            match="output 'y' is already driven by instance 'u1'",
+        ):
+            parse_verilog(text, library)
+
+
+class TestParserReferences:
+    HEADER = "module m (a, y, clk); input a; input clk; output y;\n"
+
+    def test_unknown_comb_pin_named(self, library):
+        text = (
+            self.HEADER
+            + "wire n;\n"
+            + "NAND2_X1 u1 (.A(a), .B(a), .Q(a), .Z(n));\n"
+            + "assign y = n;\nendmodule\n"
+        )
+        with pytest.raises(
+            VerilogError,
+            match="instance 'u1': cell 'NAND2_X1' has no pin 'Q'",
+        ):
+            parse_verilog(text, library)
+
+    def test_unknown_flop_pin_named(self, library):
+        text = (
+            self.HEADER
+            + "wire n;\n"
+            + "DFF_X1 u1 (.D(a), .CK(clk), .R(a), .Q(n));\n"
+            + "assign y = n;\nendmodule\n"
+        )
+        with pytest.raises(
+            VerilogError,
+            match="instance 'u1': cell 'DFF_X1' has no pin 'R'",
+        ):
+            parse_verilog(text, library)
+
+    def test_undriven_fanin_names_instance(self, library):
+        # A raw KeyError from the topological rebuild used to name
+        # neither the instance nor the net.
+        text = (
+            self.HEADER
+            + "wire n;\n"
+            + "INV_X1 u1 (.A(ghost), .Z(n));\n"
+            + "assign y = n;\nendmodule\n"
+        )
+        with pytest.raises(
+            VerilogError,
+            match="instance 'u1' reads net 'ghost', which nothing drives",
+        ):
+            parse_verilog(text, library)
+
+    def test_undriven_assign_names_output(self, library):
+        text = self.HEADER + "assign y = ghost;\nendmodule\n"
+        with pytest.raises(
+            VerilogError,
+            match="output 'y' reads net 'ghost', which nothing drives",
+        ):
+            parse_verilog(text, library)
+
+
+class TestRoundTripHypothesis:
+    @given(SEEDS)
+    @SLOW
+    def test_exact_roundtrip(self, seed):
+        spec = CloudSpec(
+            name=f"hv{seed}",
+            seed=seed,
+            n_inputs=4,
+            n_outputs=3,
+            n_flops=6,
+            n_gates=60,
+            depth=5,
+            critical_fraction=0.25,
+        )
+        netlist = generate_circuit(spec, LIBRARY)
+        text = verilog_text(netlist, LIBRARY)
+        again = parse_verilog(text, LIBRARY)
+        assert again.stats() == netlist.stats()
+        for gate in netlist:
+            assert again[gate.name].fanins == gate.fanins
+            assert again[gate.name].cell == gate.cell
+        # Writing the re-parsed netlist reproduces the text verbatim.
+        assert verilog_text(again, LIBRARY) == text
 
 
 class TestRoundTripProperty:

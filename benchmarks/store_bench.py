@@ -1,0 +1,198 @@
+"""Benchmark the persistent artifact store: cold vs warm vs store-off.
+
+Runs a table sweep three ways — ``off`` (no store: the bit-parity
+oracle), ``cold`` (fresh store directory), and ``warm`` (a second
+suite on the same directory, modelling a separate process) — verifies
+the rendered tables are byte-identical across all three, asserts the
+warm pass is actually served from disk (nonzero disk hits), and
+writes a ``repro-bench/1`` artifact:
+
+    python benchmarks/store_bench.py
+    python benchmarks/store_bench.py --circuits s1196 s1423 \
+        --out benchmarks/results/BENCH_store.json
+
+A second warm measurement replays the raw flow sweep through
+``run_flow(store=...)`` with the suite memo out of the picture, so the
+``compiled-grar`` namespace's cross-process disk hits are visible
+directly (the suite-level warm pass resumes from the ``suite-memo``
+artifact and may not need to compile at all).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import Any, Dict, List
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import metrics  # noqa: E402
+from repro.cells import default_library  # noqa: E402
+from repro.circuits import build_benchmark  # noqa: E402
+from repro.flows import run_flow  # noqa: E402
+from repro.harness import ExperimentSuite  # noqa: E402
+from repro.store import ArtifactStore, open_store  # noqa: E402
+
+DEFAULT_CIRCUITS = ["s1196", "s1423"]
+DEFAULT_TABLES = ["table5"]
+DEFAULT_CYCLES = 48
+
+#: Counters that explain where the warm savings came from.
+COUNTER_PREFIXES = ("store.", "retime.compile.", "arena.compile.")
+
+
+def _store_counters(collector: metrics.MetricsCollector) -> Dict[str, float]:
+    return {
+        key: value
+        for key, value in sorted(collector.counters.items())
+        if key.startswith(COUNTER_PREFIXES)
+    }
+
+
+def _render_tables(suite: ExperimentSuite, tables: List[str]) -> str:
+    return "\n".join(getattr(suite, name)().render() for name in tables)
+
+
+def _run_suite(
+    circuits: List[str],
+    tables: List[str],
+    cycles: int,
+    store,
+) -> Dict[str, Any]:
+    collector = metrics.MetricsCollector()
+    started = time.perf_counter()
+    with metrics.collect_into(collector):
+        suite = ExperimentSuite(
+            circuits=circuits, error_rate_cycles=cycles, store=store
+        )
+        text = _render_tables(suite, tables)
+        suite.checkpoint(force=True)
+    return {
+        "wall_s": round(time.perf_counter() - started, 3),
+        "counters": _store_counters(collector),
+        "text": text,
+    }
+
+
+def _run_flow_sweep(
+    circuits: List[str], store_dir: str
+) -> Dict[str, Any]:
+    """Raw flow replay against the warm store (no suite memo)."""
+    library = default_library()
+    collector = metrics.MetricsCollector()
+    started = time.perf_counter()
+    with metrics.collect_into(collector):
+        for name in circuits:
+            netlist = build_benchmark(name, library)
+            run_flow("grar", netlist, library, 1.0, store=store_dir)
+    return {
+        "wall_s": round(time.perf_counter() - started, 3),
+        "counters": _store_counters(collector),
+    }
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--circuits", nargs="*", default=DEFAULT_CIRCUITS)
+    parser.add_argument("--tables", nargs="*", default=DEFAULT_TABLES)
+    parser.add_argument("--cycles", type=int, default=DEFAULT_CYCLES)
+    parser.add_argument(
+        "--store-dir", default=None,
+        help="store directory (default: a fresh temp dir)",
+    )
+    parser.add_argument(
+        "--out",
+        default=str(
+            Path(__file__).resolve().parent
+            / "results"
+            / "BENCH_store.json"
+        ),
+    )
+    args = parser.parse_args(argv)
+
+    if args.store_dir:
+        store_dir = args.store_dir
+    else:
+        import tempfile
+
+        tmp = tempfile.TemporaryDirectory(prefix="repro-store-bench-")
+        store_dir = str(Path(tmp.name) / "cas")
+
+    modes: Dict[str, Dict[str, Any]] = {}
+    modes["off"] = _run_suite(
+        args.circuits, args.tables, args.cycles, store=None
+    )
+    # Fresh ArtifactStore instances per pass: the second one can only
+    # be served by the disk tier, exactly like a separate process.
+    modes["cold"] = _run_suite(
+        args.circuits, args.tables, args.cycles,
+        store=open_store(store_dir),
+    )
+    modes["warm"] = _run_suite(
+        args.circuits, args.tables, args.cycles,
+        store=open_store(store_dir),
+    )
+    flow_warm = _run_flow_sweep(args.circuits, store_dir)
+
+    failures: List[str] = []
+    if modes["cold"]["text"] != modes["off"]["text"]:
+        failures.append("cold store tables differ from store-off oracle")
+    if modes["warm"]["text"] != modes["off"]["text"]:
+        failures.append("warm store tables differ from store-off oracle")
+
+    def _hits(counters: Dict[str, float], suffix: str) -> float:
+        return sum(
+            value for key, value in counters.items()
+            if key.startswith("store.") and key.endswith(suffix)
+        )
+
+    warm_disk_hits = _hits(modes["warm"]["counters"], ".disk_hits")
+    flow_disk_hits = flow_warm["counters"].get(
+        "store.compiled-grar.disk_hits", 0.0
+    )
+    if not warm_disk_hits:
+        failures.append("warm suite pass had zero disk hits")
+    if not flow_disk_hits:
+        failures.append("warm flow replay had zero compiled-grar disk hits")
+    if flow_warm["counters"].get("retime.compile.misses"):
+        failures.append("warm flow replay recompiled (expected pure hits)")
+
+    collector = metrics.MetricsCollector()
+    report = metrics.bench_report(
+        collector,
+        kind="store",
+        circuits=list(args.circuits),
+        tables=list(args.tables),
+        cycles=args.cycles,
+        store_stats=ArtifactStore(store_dir).stats(),
+        modes={
+            mode: {k: v for k, v in row.items() if k != "text"}
+            for mode, row in modes.items()
+        },
+        flow_warm=flow_warm,
+        tables_identical=not failures,
+        warm_disk_hits=warm_disk_hits,
+        flow_compiled_grar_disk_hits=flow_disk_hits,
+        warm_speedup=round(
+            modes["cold"]["wall_s"] / max(modes["warm"]["wall_s"], 1e-9),
+            3,
+        ),
+    )
+    metrics.write_bench(args.out, report)
+
+    for mode in ("off", "cold", "warm"):
+        print(f"{mode:>5s}: {modes[mode]['wall_s']:7.2f}s")
+    print(
+        f" warm disk hits: {warm_disk_hits:.0f} (suite), "
+        f"{flow_disk_hits:.0f} (flow replay, compiled-grar)"
+    )
+    print(f"artifact: {args.out}")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -21,6 +21,13 @@ Commands
     Sweep circuits × variation corners × upset models × hardening
     policies with graceful degradation: failing scenarios settle as
     typed FAILED report entries and the sweep continues.
+``cache``
+    Inspect or prune a persistent artifact store (``--store DIR``):
+    ``ls``, ``stats``, ``gc``, ``clear``.
+
+``run``, ``tables``, and ``scenarios`` accept ``--store DIR`` to back
+their caches with an on-disk content-addressed store; results are
+bit-identical with and without it (store-off is the parity oracle).
 
 Every failure maps to a distinct nonzero exit code so shell pipelines
 and CI can tell failure classes apart without parsing stderr:
@@ -48,6 +55,7 @@ import argparse
 import json
 import sys
 import time
+from contextlib import contextmanager
 from typing import List, Optional
 
 from repro import metrics
@@ -65,6 +73,7 @@ from repro.flows import METHODS, prepare_circuit, run_flow
 from repro.harness import ExperimentSuite
 from repro.harness.paper import PAPER_TABLE1
 from repro.sim import estimate_error_rate
+from repro.store import open_store, use_store
 
 #: Exit codes per failure class (see module docstring).
 EXIT_USAGE = 2
@@ -105,6 +114,24 @@ def _report_error(error: BaseException, args: argparse.Namespace) -> None:
         print(json.dumps(payload), file=sys.stderr)
     else:
         print(f"error: {error}", file=sys.stderr)
+
+
+def _open_cli_store(args: argparse.Namespace):
+    """Resolve ``--store DIR`` (plus ``--store-capacity``) or None."""
+    path = getattr(args, "store", None)
+    if not path:
+        return None
+    return open_store(path, capacity=getattr(args, "store_capacity", None))
+
+
+@contextmanager
+def _store_scope(store):
+    """Make ``store`` ambient for a command body (no-op when None)."""
+    if store is None:
+        yield None
+    else:
+        with use_store(store):
+            yield store
 
 
 def _cmd_list(_: argparse.Namespace) -> int:
@@ -155,22 +182,23 @@ def _cmd_run(args: argparse.Namespace) -> int:
         raise ValueError(
             "run needs a circuit name, --from-bench, or --from-verilog"
         )
-    scheme, _ = prepare_circuit(
-        netlist, library, sta_mode=args.sta_mode,
-        sta_engine=args.sta_engine, convert=convert,
-    )
-    print(f"{netlist.name}: {netlist.stats()}")
-    print(
-        f"clock: P={scheme.max_path_delay:.4f} Pi={scheme.period:.4f} "
-        f"window={scheme.resiliency_window:.4f}"
-    )
-    outcome = run_flow(
-        args.method, netlist, library, args.overhead, scheme=scheme,
-        guard=args.guard, sta_mode=args.sta_mode,
-        sta_engine=args.sta_engine,
-        retime_cache=args.retime_cache == "on",
-        convert=convert,
-    )
+    with _store_scope(_open_cli_store(args)):
+        scheme, _ = prepare_circuit(
+            netlist, library, sta_mode=args.sta_mode,
+            sta_engine=args.sta_engine, convert=convert,
+        )
+        print(f"{netlist.name}: {netlist.stats()}")
+        print(
+            f"clock: P={scheme.max_path_delay:.4f} Pi={scheme.period:.4f} "
+            f"window={scheme.resiliency_window:.4f}"
+        )
+        outcome = run_flow(
+            args.method, netlist, library, args.overhead, scheme=scheme,
+            guard=args.guard, sta_mode=args.sta_mode,
+            sta_engine=args.sta_engine,
+            retime_cache=args.retime_cache == "on",
+            convert=convert,
+        )
     if outcome.conversion is not None:
         print(f"converted: {outcome.conversion.summary()}")
     print(outcome.summary())
@@ -229,6 +257,7 @@ def _cmd_tables(args: argparse.Namespace) -> int:
         memo_path=args.memo,
         checkpoint_every=8 if jobs > 1 else 1,
         retime_cache=args.retime_cache == "on",
+        store=_open_cli_store(args),
     )
     for nl in external:
         # Validate through the conversion front end; the derived
@@ -367,6 +396,7 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
             memo_path=args.memo,
             retry_failed=args.retry_failed,
             harden_fraction=args.harden_fraction,
+            store=_open_cli_store(args),
         )
     header = (
         f"{'circuit':>8s} {'corner':>11s} {'upset':>9s} {'policy':>9s} "
@@ -465,6 +495,35 @@ def _cmd_convert(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cache(args: argparse.Namespace) -> int:
+    store = open_store(args.store)
+    if not store.persistent:
+        raise ValueError("cache needs a persistent store (--store DIR)")
+    if args.op == "ls":
+        rows = store.ls(args.namespace)
+        if not rows:
+            print("(empty)")
+            return 0
+        print(f"{'namespace':>14s} {'bytes':>10s} {'key':s}")
+        for row in rows:
+            print(
+                f"{row['namespace']:>14s} {row['bytes']:>10d} {row['key']}"
+            )
+        return 0
+    if args.op == "stats":
+        print(json.dumps(store.stats(), indent=2, sort_keys=True))
+        return 0
+    if args.op == "gc":
+        result = store.gc(
+            max_bytes=args.max_bytes, max_age_s=args.max_age
+        )
+        print(json.dumps(result, indent=2, sort_keys=True))
+        return 0
+    # clear
+    print(json.dumps(store.clear(args.namespace), sort_keys=True))
+    return 0
+
+
 def _cmd_example(_: argparse.Namespace) -> int:
     import runpy
     from pathlib import Path
@@ -555,6 +614,17 @@ def build_parser() -> argparse.ArgumentParser:
              " across overhead sweeps; 'off' recomputes everything"
              " (the bit-parity oracle)",
     )
+    run.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="persistent artifact store: compiled retiming problems"
+             " and timing arenas are reused across invocations"
+             " (results are bit-identical with and without it)",
+    )
+    run.add_argument(
+        "--store-capacity", type=int, default=None, metavar="N",
+        help="memory-tier LRU capacity per store namespace"
+             " (default: 8)",
+    )
     run.set_defaults(func=_cmd_run)
 
     tables = sub.add_parser("tables", help="regenerate paper tables")
@@ -622,6 +692,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="reuse compiled retiming problems and simplex warm starts"
              " across the overhead sweep; 'off' recomputes everything"
              " (the bit-parity oracle)",
+    )
+    tables.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="persistent artifact store: compiled retiming problems,"
+             " timing arenas, and the suite memo are reused across"
+             " invocations and shared with --jobs workers"
+             " (bit-identical tables with and without it)",
+    )
+    tables.add_argument(
+        "--store-capacity", type=int, default=None, metavar="N",
+        help="memory-tier LRU capacity per store namespace"
+             " (default: 8)",
     )
     tables.set_defaults(func=_cmd_tables)
 
@@ -764,7 +846,49 @@ def build_parser() -> argparse.ArgumentParser:
         "--bench-out", default=None, metavar="PATH",
         help="write a BENCH_scenarios.json artifact",
     )
+    scen.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="persistent artifact store: compiled artifacts and the"
+             " scenario memo are reused across invocations"
+             " (bit-identical reports with and without it)",
+    )
+    scen.add_argument(
+        "--store-capacity", type=int, default=None, metavar="N",
+        help="memory-tier LRU capacity per store namespace"
+             " (default: 8)",
+    )
     scen.set_defaults(func=_cmd_scenarios)
+
+    cache = sub.add_parser(
+        "cache",
+        help="inspect or prune a persistent artifact store",
+        description="Operate on an on-disk artifact store written by"
+        " --store: list artifacts, print usage statistics, bound the"
+        " footprint (gc), or drop cached results.",
+    )
+    cache.add_argument(
+        "op", choices=["ls", "stats", "gc", "clear"],
+        help="ls: artifact rows; stats: JSON summary; gc: bound the"
+             " disk tier; clear: drop artifacts",
+    )
+    cache.add_argument(
+        "--store", required=True, metavar="DIR",
+        help="artifact store directory",
+    )
+    cache.add_argument(
+        "--namespace", default=None, metavar="NS",
+        help="restrict ls/clear to one namespace (e.g. compiled-grar,"
+             " arena, suite-memo, scenario-memo)",
+    )
+    cache.add_argument(
+        "--max-bytes", type=int, default=None, metavar="N",
+        help="gc: evict oldest artifacts until the store fits N bytes",
+    )
+    cache.add_argument(
+        "--max-age", type=float, default=None, metavar="SECONDS",
+        help="gc: evict artifacts older than SECONDS",
+    )
+    cache.set_defaults(func=_cmd_cache)
     return parser
 
 

@@ -33,11 +33,14 @@ engines, in an order that cannot change the result:
   levels in order and picking the smallest topo index within a level
   reproduces the object engine's error choice.
 
-Compilation is content-addressed: the fingerprint covers the gate
-list (names, types, cells, fanins in order), the calculator class and
-its load-model parameters, and the library identity, mirroring the
-``retime.compile`` cache.  A small LRU keeps recently-used arenas so
-sibling engines over equal netlists share one compile.
+Compilation is content-addressed: the canonical fingerprint
+(:func:`repro.store.arena_fingerprint`) covers the gate list (names,
+types, cells, fanins in order), the calculator class and its
+load-model parameters, and the library *content*.  Compiled arenas
+live in the ambient :class:`~repro.store.ArtifactStore` (namespace
+``"arena"``): a memory LRU keeps recently-used arenas hot so sibling
+engines over equal netlists share one compile, and a persistent store
+shares compiles across processes and CLI invocations.
 
 Cell swaps and rewires do not need a recompile:
 :meth:`NetlistArena.with_patched_delays` re-pulls only the arcs
@@ -48,8 +51,6 @@ pristine arenas are never mutated.
 
 from __future__ import annotations
 
-import hashlib
-from collections import OrderedDict
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -59,9 +60,9 @@ from repro.errors import TimingError
 from repro.netlist.netlist import GateType, Netlist
 from repro.sta.delay_models import (
     DelayCalculator,
-    FixedDelayCalculator,
     PathBasedCalculator,
 )
+from repro.store import ArtifactStore, arena_fingerprint, get_store
 
 NEG_INF = float("-inf")
 POS_INF = float("inf")
@@ -101,9 +102,6 @@ class NetlistArena:
                  fingerprint: str) -> None:
         self.fingerprint = fingerprint
         self.rf = isinstance(calculator, PathBasedCalculator)
-        # Hold the library so the id()-based fingerprint component can
-        # never be recycled while this arena is alive.
-        self._library_ref = getattr(calculator, "library", None)
 
         order = tuple(netlist.topo_order())
         self.names: Tuple[str, ...] = order
@@ -747,56 +745,41 @@ class _MinTopology:
 
 # -- the content-addressed compile cache ------------------------------------
 
-_MAX_ENTRIES = 8
-_CACHE: "OrderedDict[str, NetlistArena]" = OrderedDict()
-
-
-def arena_fingerprint(netlist: Netlist, calc: DelayCalculator) -> str:
-    """Content hash of everything the compiled arrays derive from."""
-    digest = hashlib.sha256()
-
-    def feed(*parts: object) -> None:
-        for part in parts:
-            digest.update(str(part).encode("utf-8"))
-            digest.update(b"\x1f")
-
-    feed("arena/1", netlist.name, type(calc).__name__)
-    lm = calc.load_model
-    feed(
-        repr(lm.wire_cap_per_fanout),
-        repr(lm.output_pin_cap),
-        repr(lm.source_slew),
-    )
-    # The arena holds a strong reference to the library, so the id can
-    # not be recycled while a cache entry depends on it.
-    feed(id(getattr(calc, "library", None)))
-    if isinstance(calc, FixedDelayCalculator):
-        for name in sorted(calc.delays):
-            feed(name, repr(calc.delays[name]))
-    for gate in netlist:
-        feed(gate.name, gate.gtype.value, gate.cell or "", *gate.fanins)
-    return digest.hexdigest()
+#: The artifact-store namespace compiled arenas live in.  The LRU
+#: capacity is per-store (``ArtifactStore.set_capacity(NAMESPACE, n)``
+#: / the CLI's ``--store-capacity``), defaulting to the 8 entries the
+#: legacy module-level cache kept.
+NAMESPACE = "arena"
 
 
 def compile_arena(
-    netlist: Netlist, calculator: DelayCalculator
+    netlist: Netlist, calculator: DelayCalculator,
+    store: Optional[ArtifactStore] = None,
 ) -> NetlistArena:
-    """Compile (or fetch from the LRU) the arena for a netlist."""
+    """Compile (or fetch from the ambient artifact store) the arena.
+
+    Arenas are numpy arrays plus plain dicts, so a persistent store
+    shares compiles across processes and CLI invocations; the
+    fingerprint hashes the library *content*, making the key valid
+    outside the producing process.  Emits the legacy
+    ``arena.compile.{hits,misses}`` counters alongside the store's
+    ``store.arena.*`` family.
+    """
+    store = store if store is not None else get_store()
     fp = arena_fingerprint(netlist, calculator)
-    cached = _CACHE.get(fp)
+    cached = store.get(NAMESPACE, fp)
     if cached is not None:
-        _CACHE.move_to_end(fp)
         metrics.count("arena.compile.hits")
         return cached
     metrics.count("arena.compile.misses")
     with metrics.stage_timer("arena.compile"):
         arena = NetlistArena(netlist, calculator, fp)
-    _CACHE[fp] = arena
-    while len(_CACHE) > _MAX_ENTRIES:
-        _CACHE.popitem(last=False)
+    store.put(NAMESPACE, fp, arena)
     return arena
 
 
 def clear_arena_cache() -> None:
-    """Drop all cached arenas (tests / memory pressure)."""
-    _CACHE.clear()
+    """Drop the in-memory arena tier (tests / memory pressure).  Disk
+    artifacts of a persistent store survive — clear those with
+    ``ArtifactStore.clear(NAMESPACE)`` / ``repro cache clear``."""
+    get_store().clear_memory(NAMESPACE)

@@ -33,6 +33,7 @@ from repro.retime.base import base_retime
 from repro.retime.grar import grar_retime
 from repro.retime.result import RetimingResult
 from repro.sta import TimingEngine
+from repro.store import ArtifactStore, open_store, use_store
 from repro.synth.recovery import RecoveryReport, recover_area
 from repro.synth.sizing import (
     RescueReport,
@@ -183,8 +184,17 @@ def run_flow(
     retime_cache: bool = True,
     harden_fraction: float = 0.5,
     convert: Optional[str] = None,
+    store: Union[ArtifactStore, str, None] = None,
 ) -> FlowOutcome:
     """Run one method end to end on a private copy of ``netlist``.
+
+    ``store`` scopes the run to an artifact store (an
+    :class:`~repro.store.ArtifactStore` or a directory path): compiled
+    retiming problems and arenas are fetched from / landed in it
+    instead of the ambient (process-default) store.  A persistent
+    store shares those compiles across processes and invocations;
+    results are bit-identical either way — the store only changes
+    where the invariant work comes from.
 
     ``convert="two-phase"`` treats ``netlist`` as an external flop
     design entering through the conversion front end: the clock is
@@ -232,6 +242,21 @@ def run_flow(
     """
     if method not in METHODS:
         raise ValueError(f"unknown method {method!r}; choose from {METHODS}")
+    if store is not None:
+        resolved = open_store(store)
+        # Re-enter with the store ambient so every cache site below
+        # (compile_retiming in the retimers, compile_arena in the
+        # engines) reads it without threading the handle through.
+        with use_store(resolved):
+            return run_flow(
+                method, netlist, library, overhead, scheme=scheme,
+                model=model, sizing=sizing, solver=solver,
+                rescue_budget_scale=rescue_budget_scale,
+                solver_policy=solver_policy, guard=guard,
+                sta_mode=sta_mode, sta_engine=sta_engine,
+                retime_cache=retime_cache,
+                harden_fraction=harden_fraction, convert=convert,
+            )
     started = time.perf_counter()
     if isinstance(guard, Guard):
         sentinel = guard

@@ -25,6 +25,15 @@ from repro.harness.tables import TableResult
 from repro.latches.conversion import flop_resilient_area, original_flop_report
 from repro.netlist.netlist import Netlist
 from repro.sim import estimate_error_rate
+from repro.store import (
+    ArtifactStore,
+    atomic_write_text,
+    config_fingerprint,
+    decode_memo_cell_key,
+    library_fingerprint,
+    memo_cell_key,
+    open_store,
+)
 
 LEVELS: Sequence[Tuple[str, float]] = tuple(OVERHEAD_LEVELS.items())
 
@@ -148,6 +157,7 @@ class ExperimentSuite:
         checkpoint_every: int = 1,
         checkpoint_interval_s: float = 0.0,
         retime_cache: bool = True,
+        store: Union[ArtifactStore, str, None] = None,
     ) -> None:
         self.circuit_names = list(circuits or suite_names())
         self.library = library or default_library()
@@ -168,6 +178,11 @@ class ExperimentSuite:
         #: of a full JSON rewrite per cell.  1 = write every time.
         self.checkpoint_every = max(1, int(checkpoint_every))
         self.checkpoint_interval_s = float(checkpoint_interval_s)
+        #: artifact store the flows run against (compiled problems and
+        #: arenas); a *persistent* store additionally carries the memo
+        #: as a ``"suite-memo"`` artifact, so suites sharing the store
+        #: directory resume each other's runs without a ``memo_path``.
+        self.store = open_store(store)
         self.failures: List[FailedOutcome] = []
         self._netlists: Dict[str, Netlist] = {}
         self._schemes: Dict[str, ClockScheme] = {}
@@ -175,7 +190,13 @@ class ExperimentSuite:
         self._error_rates: Dict[Tuple[str, str, float], float] = {}
         self._dirty_cells = 0
         self._last_checkpoint = time.monotonic()
+        if self._store_memo_enabled():
+            payload = self.store.get("suite-memo", self._store_memo_key())
+            if isinstance(payload, dict):
+                self._ingest_memo(payload)
         if memo_path:
+            # The legacy file memo loads second: an explicit path is
+            # the closer authority when both carry the same cell.
             self._load_memo(memo_path)
 
     # -- shared state ------------------------------------------------------
@@ -292,6 +313,7 @@ class ExperimentSuite:
                 sta_mode=self.sta_mode,
                 sta_engine=self.sta_engine,
                 retime_cache=self.retime_cache,
+                store=self.store,
             )
         except ReproError as exc:
             if not self.isolate:
@@ -400,15 +422,10 @@ class ExperimentSuite:
 
     @staticmethod
     def _memo_key(key: Tuple[str, str, float]) -> str:
-        """Injective memo key: a JSON array, immune to ``|`` in names.
-
-        The legacy format joined with ``|`` and split with
-        ``rsplit("|", 2)``, so a circuit name containing ``|``
-        corrupted the resume memo; JSON also round-trips the float
-        overhead exactly (``repr`` semantics).
-        """
-        name, method, overhead = key
-        return json.dumps([name, method, overhead])
+        """Injective memo key via :func:`repro.store.memo_cell_key`: a
+        JSON array, immune to ``|`` in names, round-tripping the float
+        overhead exactly (``repr`` semantics)."""
+        return memo_cell_key(key)
 
     @staticmethod
     def _decode_memo_key(memo_key: str) -> Tuple[str, str, float]:
@@ -417,16 +434,37 @@ class ExperimentSuite:
         Legacy memos are migrated transparently: they decode here and
         the next :meth:`checkpoint` rewrites them JSON-encoded.
         """
-        if memo_key.startswith("["):
-            try:
-                parts = json.loads(memo_key)
-            except ValueError:
-                parts = None
-            if isinstance(parts, list) and len(parts) == 3:
-                name, method, overhead = parts
-                return (str(name), str(method), float(overhead))
-        name, method, overhead = memo_key.rsplit("|", 2)
-        return (name, method, float(overhead))
+        name, method, overhead = decode_memo_cell_key(memo_key)
+        return (str(name), str(method), float(overhead))
+
+    def _store_memo_enabled(self) -> bool:
+        """Whether the memo also lives in the artifact store.
+
+        Only a *persistent* store carries the ``"suite-memo"``
+        namespace: in a memory-only store the artifact would just
+        alias this process's ``_outcomes`` (and leak runs between
+        unrelated in-process suites).
+        """
+        return self.store is not None and self.store.persistent
+
+    def _store_memo_key(self) -> str:
+        """The suite's memo artifact key: a config fingerprint.
+
+        Covers exactly the knobs that change memoized *values* —
+        library content, simulated cycles, seed, and the solver
+        policy.  Bit-identical-by-contract switches (simulation
+        backend, STA mode/engine, retime cache, jobs) stay out, so a
+        warm store serves any of their combinations.
+        """
+        return config_fingerprint(
+            "suite-memo",
+            {
+                "library": library_fingerprint(self.library),
+                "error_rate_cycles": self.error_rate_cycles,
+                "sim_seed": self.sim_seed,
+                "solver_policy": repr(self.solver_policy),
+            },
+        )
 
     def checkpoint(self, force: bool = True) -> bool:
         """Persist completed runs so a crashed suite can resume.
@@ -434,10 +472,13 @@ class ExperimentSuite:
         ``force=False`` marks one cell dirty and only rewrites the
         memo once ``checkpoint_every`` cells accumulated (or
         ``checkpoint_interval_s`` elapsed) — the batching that keeps a
-        parallel suite from serializing on full-JSON rewrites.
-        Returns True when the memo file was written.
+        parallel suite from serializing on full-JSON rewrites.  The
+        payload goes to ``memo_path`` (when set) and to a persistent
+        artifact store's ``"suite-memo"`` namespace (when attached).
+        Returns True when the memo was written.
         """
-        if not self.memo_path:
+        to_store = self._store_memo_enabled()
+        if not self.memo_path and not to_store:
             return False
         if not force:
             self._dirty_cells += 1
@@ -468,24 +509,32 @@ class ExperimentSuite:
             },
             "failures": self.failure_report()["failures"],
         }
-        tmp = f"{self.memo_path}.tmp"
-        with open(tmp, "w", encoding="utf-8") as stream:
-            json.dump(payload, stream, indent=1)
-        os.replace(tmp, self.memo_path)
+        if self.memo_path:
+            # Unique-tmp atomic write: two suites sharing a memo path
+            # used to race on one fixed ``{path}.tmp`` name.
+            atomic_write_text(
+                self.memo_path, json.dumps(payload, indent=1)
+            )
+        if to_store:
+            self.store.put("suite-memo", self._store_memo_key(), payload)
         self._dirty_cells = 0
         self._last_checkpoint = time.monotonic()
         return True
+
+    def _ingest_memo(self, payload: Dict[str, object]) -> None:
+        """Merge one memo payload (file or store artifact) into state."""
+        for memo_key, fields_ in payload.get("runs", {}).items():
+            key = self._decode_memo_key(memo_key)
+            self._outcomes[key] = FlowRecord(**fields_)
+        for memo_key, rate in payload.get("error_rates", {}).items():
+            self._error_rates[self._decode_memo_key(memo_key)] = rate
 
     def _load_memo(self, path: str) -> None:
         if not os.path.exists(path):
             return
         with open(path, encoding="utf-8") as stream:
             payload = json.load(stream)
-        for memo_key, fields_ in payload.get("runs", {}).items():
-            key = self._decode_memo_key(memo_key)
-            self._outcomes[key] = FlowRecord(**fields_)
-        for memo_key, rate in payload.get("error_rates", {}).items():
-            self._error_rates[self._decode_memo_key(memo_key)] = rate
+        self._ingest_memo(payload)
 
     # -- parallel-engine merge hooks ---------------------------------------
 

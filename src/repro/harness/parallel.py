@@ -69,6 +69,7 @@ from repro.harness.experiments import (
 )
 from repro.netlist.netlist import Netlist
 from repro.sim import estimate_error_rate
+from repro.store import open_store, use_store
 
 #: Methods whose cells the full table set (I-IX + VI-D) reads.
 TABLE_METHODS: Tuple[str, ...] = (
@@ -143,6 +144,10 @@ class CellTask:
     sta_mode: str = "incremental"
     sta_engine: str = "object"
     retime_cache: bool = True
+    #: persistent artifact-store directory the worker opens and runs
+    #: under — compiled problems and arenas are shared through it
+    #: across the whole worker fleet (and later invocations).
+    store_dir: Optional[str] = None
     #: sweep points this task covers (empty = just ``overhead``).
     #: G-RAR tasks ship one sweep per circuit so the worker's compiled
     #: problem and warm basis are reused across overheads.
@@ -200,6 +205,11 @@ def plan_cells(
     owe an error rate.
     """
     tasks: List[CellTask] = []
+    store_dir = (
+        str(suite.store.root)
+        if suite.store is not None and suite.store.persistent
+        else None
+    )
     for name in suite.circuit_names:
         try:
             # Same prepare scope as ExperimentSuite._run: a broken
@@ -288,6 +298,7 @@ def plan_cells(
                         sta_mode=suite.sta_mode,
                         sta_engine=suite.sta_engine,
                         retime_cache=suite.retime_cache,
+                        store_dir=store_dir,
                         overheads=batch,
                         rate_overheads=tuple(
                             c for c in batch if c in pending_rates
@@ -302,8 +313,14 @@ def run_cell(task: CellTask) -> List[CellResult]:
 
     Single-overhead tasks return one result; grouped G-RAR tasks run
     the circuit's whole sweep in-process, so the compiled retiming
-    problem and warm basis carry from point to point.
+    problem and warm basis carry from point to point.  A task with a
+    ``store_dir`` opens the shared artifact store *once* for its whole
+    sweep (per-point opens would discard the memory tier between
+    points) and runs under it.
     """
+    if task.store_dir:
+        with use_store(open_store(task.store_dir)):
+            return [_run_point(task, overhead) for overhead in task.sweep]
     return [_run_point(task, overhead) for overhead in task.sweep]
 
 

@@ -8,13 +8,18 @@ breadth carries it, entering the flow problem through node *demands*,
 never arc costs.  This module compiles that invariant part once per
 circuit and re-costs it per sweep point:
 
-* :func:`circuit_fingerprint` — a content hash over everything the
-  invariant part *does* depend on (netlist structure and cells, clock
-  scheme, latch timing, delay model, conflict policy).  Re-sized
-  netlists (the rescue pass changes gate cells, and its budget is
-  c-dependent) therefore miss the cache — correctly.
-* :func:`compile_retiming` — the per-fingerprint LRU cache of
-  :class:`CompiledRetiming`; emits ``retime.compile.{hits,misses}``.
+* :func:`repro.store.circuit_fingerprint` — a content hash over
+  everything the invariant part *does* depend on (netlist structure
+  and cells, clock scheme, latch timing, delay model, library content,
+  conflict policy).  Re-sized netlists (the rescue pass changes gate
+  cells, and its budget is c-dependent) therefore miss the cache —
+  correctly.
+* :func:`compile_retiming` — fetches/builds compiled problems through
+  the ambient :class:`~repro.store.ArtifactStore` (namespace
+  ``"compiled-grar"``); emits ``retime.compile.{hits,misses}``.  With
+  a persistent store, compiled problems land on disk and successive
+  CLI invocations (and ProcessPool workers sharing the directory)
+  hit across process boundaries.
 * :class:`CompiledRetiming` — regions + cut sets + graph skeleton,
   plus the previous sweep point's optimal simplex basis
   (``last_basis``) so the next solve can warm-start.
@@ -24,13 +29,12 @@ the bit-exact oracle.  With it *on*, :func:`recost_graph` reproduces
 ``build_retiming_graph`` exactly (same node and edge order), and the
 solver canonicalizes its dual potentials, so ``r_values``, objective,
 placement and EDL sets are identical either way (asserted by
-``tests/test_retime_compile.py`` and the CI parity job).
+``tests/test_retime_compile.py`` and the CI parity job) — including
+when the compiled problem was unpickled from disk.
 """
 
 from __future__ import annotations
 
-import hashlib
-from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
@@ -44,19 +48,18 @@ from repro.retime.graph import (
 )
 from repro.retime.regions import Regions, compute_regions
 from repro.retime.simplex import WarmBasis
+from repro.store import ArtifactStore, circuit_fingerprint, get_store
 
 __all__ = [
     "CompiledRetiming",
+    "NAMESPACE",
     "circuit_fingerprint",
     "clear_cache",
     "compile_retiming",
 ]
 
-#: Compiled problems kept alive (LRU).  A suite touches a handful of
-#: circuits at a time; the skeleton of the largest is a few MB.
-_MAX_ENTRIES = 8
-
-_CACHE: "OrderedDict[str, CompiledRetiming]" = OrderedDict()
+#: The artifact-store namespace compiled problems live in.
+NAMESPACE = "compiled-grar"
 
 
 @dataclass
@@ -80,56 +83,11 @@ class CompiledRetiming:
         return recost_graph(self.skeleton, overhead)
 
 
-def circuit_fingerprint(
-    circuit: TwoPhaseCircuit, conflict_policy: str = "error"
-) -> str:
-    """Content hash of everything regions/cut sets/skeleton depend on.
-
-    Hashes the netlist *by value* (name, gates, cells, fanins), so the
-    copies the flow pipeline makes of a pristine circuit collide — the
-    point of the cache — while any resizing or restructuring changes
-    the digest.
-    """
-    digest = hashlib.sha256()
-
-    def feed(*parts: object) -> None:
-        for part in parts:
-            digest.update(str(part).encode())
-            digest.update(b"\x1f")
-
-    netlist = circuit.netlist
-    feed("netlist", netlist.name)
-    for gate in netlist:
-        feed(gate.name, gate.gtype.value, gate.cell or "", *gate.fanins)
-    scheme = circuit.scheme
-    feed(
-        "scheme",
-        scheme.phi1,
-        scheme.gamma1,
-        scheme.phi2,
-        scheme.gamma2,
-    )
-    feed(
-        "latch",
-        circuit.latch_ck_q,
-        circuit.latch_d_q,
-        circuit.latch_area,
-    )
-    engine = circuit.engine
-    feed("model", type(engine.calculator).__name__)
-    for name in sorted(engine.source_offsets):
-        feed("offset", name, engine.source_offsets[name])
-    library = circuit.library
-    if library is not None:
-        feed("library", library.name, len(library.cells))
-    feed("conflict_policy", conflict_policy)
-    return digest.hexdigest()
-
-
 def compile_retiming(
     circuit: TwoPhaseCircuit,
     overhead: float,
     conflict_policy: str = "error",
+    store: Optional[ArtifactStore] = None,
 ) -> CompiledRetiming:
     """Fetch or build the compiled problem for ``circuit``.
 
@@ -137,13 +95,15 @@ def compile_retiming(
     value yields the same skeleton modulo credit breadths, which
     :func:`recost_graph` patches per solve); it must be positive, as
     the c=0 graph has no pseudo nodes and is not resiliency-aware.
+    ``store`` overrides the ambient artifact store (workers pass
+    their own).
     """
     if overhead <= 0:
         raise ValueError("compile_retiming requires overhead > 0")
+    store = store if store is not None else get_store()
     key = circuit_fingerprint(circuit, conflict_policy)
-    entry = _CACHE.get(key)
+    entry = store.get(NAMESPACE, key)
     if entry is not None:
-        _CACHE.move_to_end(key)
         metrics.count("retime.compile.hits")
         return entry
     metrics.count("retime.compile.misses")
@@ -165,7 +125,7 @@ def compile_retiming(
     # gates and forced this miss): the simplex validates the basis
     # shape and repairs primal feasibility, and the canonical dual
     # potentials make the result independent of the seed.
-    for other in reversed(list(_CACHE.values())):
+    for other in reversed(store.memory_values(NAMESPACE)):
         if (
             other.circuit_name == entry.circuit_name
             and other.conflict_policy == entry.conflict_policy
@@ -176,12 +136,13 @@ def compile_retiming(
             entry.last_basis = other.last_basis
             metrics.count("retime.compile.basis_seeded")
             break
-    _CACHE[key] = entry
-    while len(_CACHE) > _MAX_ENTRIES:
-        _CACHE.popitem(last=False)
+    store.put(NAMESPACE, key, entry)
     return entry
 
 
 def clear_cache() -> None:
-    """Drop every compiled problem (tests and the cache-off oracle)."""
-    _CACHE.clear()
+    """Drop the in-memory compiled problems (tests and the cache-off
+    oracle).  Disk artifacts of a persistent store are kept — use
+    ``ArtifactStore.clear(NAMESPACE)`` / ``repro cache clear`` for
+    those."""
+    get_store().clear_memory(NAMESPACE)

@@ -23,9 +23,7 @@ They are failure-injection fixtures, not physics.
 
 from __future__ import annotations
 
-import hashlib
 import json
-import os
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -48,6 +46,15 @@ from repro.flows.run import METHODS, prepare_circuit, run_flow
 from repro.netlist.netlist import Netlist
 from repro.scenarios.injectors import build_injection_plan
 from repro.sim import SIM_BACKENDS, estimate_error_rate
+from repro.store import (
+    ArtifactStore,
+    atomic_write_text,
+    config_fingerprint,
+    content_digest,
+    library_fingerprint,
+    memo_cell_key,
+    open_store,
+)
 
 #: Scenario report / memo schema versions.
 REPORT_SCHEMA = "repro-scenarios/1"
@@ -121,8 +128,7 @@ def scenario_seed(
     streams by accident.
     """
     text = "\x1f".join([str(base_seed), circuit, corner, upset, policy])
-    digest = hashlib.sha256(text.encode("utf-8")).hexdigest()
-    return int(digest[:8], 16)
+    return int(content_digest(text, 8), 16)
 
 
 @dataclass(frozen=True)
@@ -144,6 +150,9 @@ class ScenarioTask:
     harden_fraction: float = 0.5
     #: how long a chaos-hang corner sleeps (tests shorten it).
     hang_s: float = 3600.0
+    #: persistent artifact-store directory the worker's flow runs
+    #: under (compiled problems / arenas shared across the matrix).
+    store_dir: Optional[str] = None
 
     @property
     def key(self) -> Tuple[str, str, str, str]:
@@ -151,8 +160,9 @@ class ScenarioTask:
 
 
 def memo_key(key: Tuple[str, str, str, str]) -> str:
-    """The JSON-array memo key of a scenario."""
-    return json.dumps(list(key))
+    """The JSON-array memo key of a scenario (the canonical
+    :func:`repro.store.memo_cell_key` recipe)."""
+    return memo_cell_key(key)
 
 
 def run_scenario(task: ScenarioTask) -> Dict[str, Any]:
@@ -179,6 +189,7 @@ def run_scenario(task: ScenarioTask) -> Dict[str, Any]:
         scheme=task.scheme,
         guard=task.guard,
         harden_fraction=task.harden_fraction,
+        store=task.store_dir,
     )
     plan = build_injection_plan(
         outcome.circuit.netlist,
@@ -223,9 +234,7 @@ def run_scenario(task: ScenarioTask) -> Dict[str, Any]:
         "n_slaves": outcome.n_slaves,
         "total_area": outcome.total_area,
         "injected": plan.counts(),
-        "state_digest": hashlib.sha256(
-            state_blob.encode("utf-8")
-        ).hexdigest()[:16],
+        "state_digest": content_digest(state_blob, 16),
     }
 
 
@@ -330,21 +339,55 @@ def _load_memo(
     return dict(entries) if isinstance(entries, dict) else {}
 
 
+def _memo_payload(
+    config: Dict[str, Any], entries: Mapping[str, Dict[str, Any]]
+) -> Dict[str, Any]:
+    return {
+        "schema": MEMO_SCHEMA,
+        "config": config,
+        "entries": dict(sorted(entries.items())),
+    }
+
+
 def _write_memo(
     path: Path,
     config: Dict[str, Any],
     entries: Mapping[str, Dict[str, Any]],
 ) -> None:
-    """Atomic memo write (tmp + replace: a killed sweep never leaves a
-    torn file behind)."""
-    payload = {
-        "schema": MEMO_SCHEMA,
-        "config": config,
-        "entries": dict(sorted(entries.items())),
-    }
-    tmp = path.with_name(path.name + ".tmp")
-    tmp.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
-    os.replace(tmp, path)
+    """Atomic memo write (unique tmp + replace: a killed sweep never
+    leaves a torn file behind, and two sweeps sharing the memo path
+    never clobber each other's in-flight tmp)."""
+    payload = _memo_payload(config, entries)
+    atomic_write_text(
+        path, json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
+
+
+def _store_memo_key(config: Dict[str, Any], library: Library) -> str:
+    """The ``"scenario-memo"`` artifact key: run config + library."""
+    return config_fingerprint(
+        "scenario-memo",
+        {**config, "library": library_fingerprint(library)},
+    )
+
+
+def _load_store_memo(
+    store: Optional[ArtifactStore],
+    key: str,
+    config: Dict[str, Any],
+) -> Dict[str, Dict[str, Any]]:
+    """Settled entries from a persistent store's memo artifact."""
+    if store is None or not store.persistent:
+        return {}
+    payload = store.get("scenario-memo", key)
+    if (
+        not isinstance(payload, dict)
+        or payload.get("schema") != MEMO_SCHEMA
+        or payload.get("config") != config
+    ):
+        return {}
+    entries = payload.get("entries")
+    return dict(entries) if isinstance(entries, dict) else {}
 
 
 def run_scenarios(
@@ -364,6 +407,7 @@ def run_scenarios(
     retry_failed: bool = False,
     harden_fraction: float = 0.5,
     hang_s: float = 3600.0,
+    store: Union[ArtifactStore, str, Path, None] = None,
 ) -> ScenarioReport:
     """Run the scenario matrix; degrade gracefully, resume from memo.
 
@@ -373,6 +417,14 @@ def run_scenarios(
     one retry for the transient kinds) and the sweep continues.  With
     ``memo_path``, completed scenarios are checkpointed as they land
     and skipped on re-runs (``retry_failed`` re-attempts FAILED ones).
+
+    ``store`` attaches an artifact store: workers run their flows
+    under it (compiled problems and arenas shared across the matrix
+    and across invocations), and a *persistent* store additionally
+    carries the memo as a ``"scenario-memo"`` artifact keyed by the
+    run config — a warm rerun resumes from the store with no
+    ``memo_path`` at all.  Reports are byte-identical with or without
+    a store.
     """
     if sim_backend not in SIM_BACKENDS:
         raise ValueError(
@@ -403,10 +455,21 @@ def run_scenarios(
     config = _memo_config(
         seed, overhead, cycles, sim_backend, harden_fraction
     )
-    memo = Path(memo_path) if memo_path is not None else None
-    entries: Dict[str, Dict[str, Any]] = (
-        _load_memo(memo, config) if memo is not None else {}
+    store_obj = open_store(store)
+    store_dir = (
+        str(store_obj.root)
+        if store_obj is not None and store_obj.persistent
+        else None
     )
+    store_key = _store_memo_key(config, library)
+    memo = Path(memo_path) if memo_path is not None else None
+    # Store memo first, file memo second: an explicit path is the
+    # closer authority when both carry the same scenario.
+    entries: Dict[str, Dict[str, Any]] = _load_store_memo(
+        store_obj, store_key, config
+    )
+    if memo is not None:
+        entries.update(_load_memo(memo, config))
 
     started = time.perf_counter()
     all_keys: List[Tuple[str, str, str, str]] = []
@@ -464,6 +527,7 @@ def run_scenarios(
                             guard=guard,
                             harden_fraction=harden_fraction,
                             hang_s=hang_s,
+                            store_dir=store_dir,
                         )
                     )
 
@@ -484,6 +548,10 @@ def run_scenarios(
         entries[memo_key(task.key)] = entry
         if memo is not None:
             _write_memo(memo, config, entries)
+        if store_dir is not None:
+            store_obj.put(
+                "scenario-memo", store_key, _memo_payload(config, entries)
+            )
 
     if tasks:
         # Import here: parallel imports experiments imports flows —

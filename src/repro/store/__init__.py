@@ -1,0 +1,58 @@
+"""``repro.store``: canonical fingerprints + the two-tier artifact store.
+
+The persistent half of the ROADMAP's retiming-as-a-service arc: one
+sha256 recipe for every cache key (:mod:`repro.store.fingerprint`) and
+one content-addressed store behind every result cache
+(:mod:`repro.store.store`).  See DESIGN.md §15 for the architecture
+and the namespace map.
+"""
+
+from repro.store.fingerprint import (
+    ENGINE_VERSION,
+    Fingerprint,
+    arena_fingerprint,
+    circuit_fingerprint,
+    config_fingerprint,
+    content_digest,
+    decode_memo_cell_key,
+    library_fingerprint,
+    memo_cell_key,
+    netlist_fingerprint,
+)
+from repro.store.store import (
+    DEFAULT_CAPACITY,
+    STORE_SCHEMA,
+    ArtifactStore,
+    StoreError,
+    atomic_write_bytes,
+    atomic_write_text,
+    get_store,
+    open_store,
+    set_default_store,
+    unique_tmp_name,
+    use_store,
+)
+
+__all__ = [
+    "ArtifactStore",
+    "DEFAULT_CAPACITY",
+    "ENGINE_VERSION",
+    "Fingerprint",
+    "STORE_SCHEMA",
+    "StoreError",
+    "arena_fingerprint",
+    "atomic_write_bytes",
+    "atomic_write_text",
+    "circuit_fingerprint",
+    "config_fingerprint",
+    "content_digest",
+    "decode_memo_cell_key",
+    "get_store",
+    "library_fingerprint",
+    "memo_cell_key",
+    "netlist_fingerprint",
+    "open_store",
+    "set_default_store",
+    "unique_tmp_name",
+    "use_store",
+]

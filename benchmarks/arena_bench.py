@@ -141,7 +141,7 @@ def bench_batched_sim(
         "batch_speedup": round(
             sequential_s / max(batched_s, 1e-9), 3
         ),
-        "batched_cycles_per_sec": round(batched[0].cycles_per_sec, 1),
+        "batched_cycles_per_sec": round(batched[0].cycles_per_sec or 0.0, 1),
         "identical_reports": True,
     }
 

@@ -48,7 +48,9 @@ def bench_cell(circuit_name: str, method: str, cycles: int) -> Dict[str, Any]:
             cycles=cycles,
             backend=backend,
         )
-        rates[backend] = report.cycles_per_sec
+        # None = unmeasured (wall clock read zero) — treat as 0 so a
+        # degenerate run fails the speedup assert loudly.
+        rates[backend] = report.cycles_per_sec or 0.0
         reports[backend] = report
     if reports["compiled"] != reports["event"]:
         raise AssertionError(

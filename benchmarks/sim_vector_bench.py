@@ -1,0 +1,159 @@
+"""Benchmark the lane-vectorized simulator against both oracles.
+
+Runs the Table VIII configuration on a selection of suite circuits at
+a multi-seed Monte-Carlo width, sweeps each cell once per backend
+(event per-seed, batched compiled, lane-vectorized), verifies the
+three report lists are comparison-identical, and writes a
+``repro-bench/1`` artifact with per-cell and aggregate speed-ups of
+the vector backend over the batched compiled baseline:
+
+    python benchmarks/sim_vector_bench.py
+    python benchmarks/sim_vector_bench.py --circuits s1196 s1488 \
+        --cycles 96 --seeds 32 --out benchmarks/results/BENCH_sim_vector.json
+
+The committed artifact ``benchmarks/results/BENCH_sim_vector.json``
+is the PR's acceptance evidence for the >= 8x aggregate
+lane-cycles/sec floor at 32 seeds.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import Any, Dict, List
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import metrics  # noqa: E402
+from repro.cells import default_library  # noqa: E402
+from repro.circuits import build_benchmark  # noqa: E402
+from repro.flows import run_flow  # noqa: E402
+from repro.sim import (  # noqa: E402
+    estimate_error_rate,
+    estimate_error_rate_batched,
+)
+
+DEFAULT_CIRCUITS = ["s1196", "s1488"]
+DEFAULT_METHODS = ["base", "grar"]
+
+
+def bench_cell(
+    circuit_name: str, method: str, cycles: int, n_seeds: int
+) -> Dict[str, Any]:
+    """Three-way sweep of one (circuit, method) Table VIII cell."""
+    library = default_library()
+    netlist = build_benchmark(circuit_name, library)
+    outcome = run_flow(method, netlist, library, overhead=1.0)
+    seeds = [2017 + k for k in range(n_seeds)]
+    lane_cycles = cycles * n_seeds
+
+    started = time.perf_counter()
+    event = [
+        estimate_error_rate(
+            outcome.circuit,
+            outcome.retiming.placement,
+            outcome.edl_endpoints,
+            cycles=cycles,
+            seed=seed,
+            backend="event",
+        )
+        for seed in seeds
+    ]
+    event_s = time.perf_counter() - started
+
+    rates: Dict[str, float] = {}
+    reports = {"event": event}
+    for backend in ("compiled", "vector"):
+        started = time.perf_counter()
+        batch = estimate_error_rate_batched(
+            outcome.circuit,
+            outcome.retiming.placement,
+            outcome.edl_endpoints,
+            cycles=cycles,
+            seeds=seeds,
+            backend=backend,
+        )
+        wall_s = time.perf_counter() - started
+        # None = unmeasured (wall clock read zero) — treat as 0 so a
+        # degenerate run fails the speedup assert loudly.
+        rates[backend] = lane_cycles / max(wall_s, 1e-9)
+        reports[backend] = batch
+    rates["event"] = lane_cycles / max(event_s, 1e-9)
+
+    for backend in ("compiled", "vector"):
+        if reports[backend] != reports["event"]:
+            raise AssertionError(
+                f"{circuit_name}/{method}: {backend} reports differ from"
+                f" the event oracle — do not trust the speed-up"
+            )
+    speedup = rates["vector"] / max(rates["compiled"], 1e-9)
+    if speedup <= 0.0:
+        raise AssertionError(
+            f"{circuit_name}/{method}: non-positive vector speedup"
+        )
+    return {
+        "circuit": circuit_name,
+        "method": method,
+        "cycles": cycles,
+        "seeds": n_seeds,
+        "error_rate_pct": round(event[0].error_rate, 4),
+        "event_lane_cycles_per_sec": round(rates["event"], 2),
+        "compiled_lane_cycles_per_sec": round(rates["compiled"], 2),
+        "vector_lane_cycles_per_sec": round(rates["vector"], 2),
+        "speedup_vs_compiled": round(speedup, 3),
+        "identical_reports": True,
+    }
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--circuits", nargs="*", default=DEFAULT_CIRCUITS)
+    parser.add_argument("--methods", nargs="*", default=DEFAULT_METHODS)
+    parser.add_argument("--cycles", type=int, default=96)
+    parser.add_argument("--seeds", type=int, default=32)
+    parser.add_argument("--min-speedup", type=float, default=8.0)
+    parser.add_argument(
+        "--out",
+        default=str(
+            Path(__file__).resolve().parent
+            / "results"
+            / "BENCH_sim_vector.json"
+        ),
+    )
+    args = parser.parse_args(argv)
+
+    collector = metrics.MetricsCollector()
+    cells = []
+    with metrics.collect_into(collector):
+        for circuit_name in args.circuits:
+            for method in args.methods:
+                cell = bench_cell(
+                    circuit_name, method, args.cycles, args.seeds
+                )
+                cells.append(cell)
+                print(
+                    f"{cell['circuit']:>6s}/{cell['method']:<5s} "
+                    f"compiled {cell['compiled_lane_cycles_per_sec']:9.1f}"
+                    f" lc/s   vector "
+                    f"{cell['vector_lane_cycles_per_sec']:9.1f} lc/s"
+                    f"   x{cell['speedup_vs_compiled']:.2f}"
+                )
+    speedups = [cell["speedup_vs_compiled"] for cell in cells]
+    report = metrics.bench_report(
+        collector,
+        kind="sim-vector",
+        cycles=args.cycles,
+        seeds=args.seeds,
+        cells=cells,
+        min_speedup=min(speedups),
+        mean_speedup=round(sum(speedups) / len(speedups), 3),
+    )
+    metrics.write_bench(args.out, report)
+    print(f"\nmin speedup x{min(speedups):.2f}; artifact: {args.out}")
+    return 0 if min(speedups) >= args.min_speedup else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

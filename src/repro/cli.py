@@ -217,11 +217,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
             cycles=args.cycles,
             backend=args.sim_backend,
         )
+        rate = (
+            "unmeasured"
+            if report.cycles_per_sec is None
+            else f"{report.cycles_per_sec:.0f} cycles/s"
+        )
         print(
             f"error rate: {report.error_rate:.2f}% over {report.cycles} "
             f"cycles ({report.non_edl_violations} non-EDL violations; "
-            f"{report.backend} backend, "
-            f"{report.cycles_per_sec:.0f} cycles/s)"
+            f"{report.backend} backend, {rate})"
         )
     return 0
 
@@ -389,6 +393,7 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
             overhead=args.overhead,
             cycles=args.cycles,
             seed=args.seed,
+            n_seeds=max(1, args.sim_seeds),
             sim_backend=args.sim_backend,
             guard=None if args.guard == "off" else args.guard,
             jobs=max(1, args.jobs),
@@ -585,10 +590,11 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--cycles", type=int, default=192)
     run.add_argument(
         "--sim-backend", default="compiled",
-        choices=["event", "compiled"],
+        choices=["event", "compiled", "vector"],
         help="Table VIII simulation backend: the compile-once kernel"
-             " (default) or the reference event-driven simulator;"
-             " both produce bit-identical reports",
+             " (default), the reference event-driven simulator, or the"
+             " lane-vectorized multi-seed engine; all three produce"
+             " bit-identical reports",
     )
     run.add_argument(
         "--sta-mode", default="incremental",
@@ -649,9 +655,10 @@ def build_parser() -> argparse.ArgumentParser:
     tables.add_argument("--cycles", type=int, default=128)
     tables.add_argument(
         "--sim-backend", default="compiled",
-        choices=["event", "compiled"],
+        choices=["event", "compiled", "vector"],
         help="Table VIII simulation backend (bit-identical reports;"
-             " 'compiled' is several times faster)",
+             " 'compiled' is several times faster, 'vector' batches"
+             " seeds into NumPy lanes)",
     )
     tables.add_argument(
         "--sta-mode", default="incremental",
@@ -810,9 +817,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     scen.add_argument(
         "--sim-backend", default="compiled",
-        choices=["event", "compiled"],
-        help="simulation backend; both honour injection plans"
+        choices=["event", "compiled", "vector"],
+        help="simulation backend; all honour injection plans"
              " bit-identically and render the identical report file",
+    )
+    scen.add_argument(
+        "--sim-seeds", type=int, default=1, metavar="N",
+        help="Monte-Carlo seeds per scenario (lane 0 is the legacy"
+             " derived seed; entries report the mean error rate)",
     )
     scen.add_argument(
         "--guard", default="off", choices=["off", "warn", "strict"],

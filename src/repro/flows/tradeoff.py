@@ -61,6 +61,7 @@ def error_rate_tradeoff(
     scheme: Optional[ClockScheme] = None,
     cycles: int = 160,
     seed: int = 2017,
+    sim_backend: str = "compiled",
     retime_cache: bool = True,
     methods: Sequence[str] = ("grar",),
     harden_fractions: Sequence[float] = SELECTIVE_FRACTIONS,
@@ -105,6 +106,7 @@ def error_rate_tradeoff(
                 outcome.edl_endpoints,
                 cycles=cycles,
                 seed=seed,
+                backend=sim_backend,
             )
             points.append(
                 TradeoffPoint(

@@ -68,7 +68,7 @@ from repro.harness.experiments import (
     LEVELS,
 )
 from repro.netlist.netlist import Netlist
-from repro.sim import estimate_error_rate
+from repro.sim import estimate_error_rate_batched
 from repro.store import open_store, use_store
 
 #: Methods whose cells the full table set (I-IX + VI-D) reads.
@@ -140,6 +140,11 @@ class CellTask:
     error_rate: bool
     cycles: int
     seed: int
+    #: Monte-Carlo seed sweep for the Table VIII simulation — every
+    #: seed runs through one shared compile
+    #: (:func:`~repro.sim.batch.estimate_error_rate_batched`) and the
+    #: cell reports the mean error rate.  Empty = ``(seed,)``.
+    seeds: Tuple[int, ...] = ()
     sim_backend: str = "compiled"
     sta_mode: str = "incremental"
     sta_engine: str = "object"
@@ -180,8 +185,9 @@ class CellResult:
     metrics: Optional[Dict[str, Any]] = None
     #: which simulation backend produced the error rate (when one ran).
     sim_backend: Optional[str] = None
-    #: simulation throughput of this cell's Table VIII run.
-    sim_cycles_per_sec: float = 0.0
+    #: simulation throughput of this cell's Table VIII run (``None``
+    #: when no simulation ran or the wall clock read zero).
+    sim_cycles_per_sec: Optional[float] = None
 
     @property
     def key(self) -> Tuple[str, str, float]:
@@ -294,6 +300,7 @@ def plan_cells(
                         error_rate=batch[0] in pending_rates,
                         cycles=suite.error_rate_cycles,
                         seed=suite.sim_seed,
+                        seeds=suite.sim_seeds,
                         sim_backend=suite.sim_backend,
                         sta_mode=suite.sta_mode,
                         sta_engine=suite.sta_engine,
@@ -364,12 +371,15 @@ def _run_point(task: CellTask, overhead: float) -> CellResult:
             if need_rate:
                 try:
                     with stage_scope("simulate", circuit=task.circuit):
-                        report = estimate_error_rate(
+                        # One compile serves the whole seed sweep;
+                        # single-seed reports are byte-identical to
+                        # the sequential per-seed call.
+                        reports = estimate_error_rate_batched(
                             outcome.circuit,
                             outcome.retiming.placement,
                             outcome.edl_endpoints,
                             cycles=task.cycles,
-                            seed=task.seed,
+                            seeds=task.seeds or (task.seed,),
                             backend=task.sim_backend,
                         )
                 except ReproError as exc:
@@ -379,9 +389,11 @@ def _run_point(task: CellTask, overhead: float) -> CellResult:
                     result.error_rate = float("nan")
                     result.sim_backend = task.sim_backend
                 else:
-                    result.error_rate = report.error_rate
-                    result.sim_backend = report.backend
-                    result.sim_cycles_per_sec = report.cycles_per_sec
+                    result.error_rate = sum(
+                        r.error_rate for r in reports
+                    ) / len(reports)
+                    result.sim_backend = reports[0].backend
+                    result.sim_cycles_per_sec = reports[0].cycles_per_sec
     result.wall_s = time.perf_counter() - started
     result.metrics = collector.to_dict()
     return result
@@ -783,8 +795,12 @@ def run_suite_parallel(
         raise _rebuild_error(first_failure)
 
     busy_s = sum(r.wall_s for r in results)
+    # None = unmeasured (no simulation, or a wall clock too coarse to
+    # resolve the run) — only measured cells enter the average.
     sim_rates = [
-        r.sim_cycles_per_sec for r in results if r.sim_cycles_per_sec > 0
+        r.sim_cycles_per_sec
+        for r in results
+        if r.sim_cycles_per_sec is not None
     ]
     summary: Dict[str, Any] = {
         "jobs": jobs,
@@ -793,7 +809,7 @@ def run_suite_parallel(
         "sim_cells": len(sim_rates),
         "sim_cycles_per_sec": round(
             sum(sim_rates) / len(sim_rates), 2
-        ) if sim_rates else 0.0,
+        ) if sim_rates else None,
         "n_cells": len(results),
         "n_failed": sum(1 for r in results if r.failed),
         "wall_s": round(wall_s, 6),
@@ -812,7 +828,11 @@ def run_suite_parallel(
                     (r.record or {}).get("solver_backend", "")
                 ),
                 "sim_backend": r.sim_backend,
-                "sim_cycles_per_sec": round(r.sim_cycles_per_sec, 2),
+                "sim_cycles_per_sec": (
+                    None
+                    if r.sim_cycles_per_sec is None
+                    else round(r.sim_cycles_per_sec, 2)
+                ),
             }
             for r in results
         ],

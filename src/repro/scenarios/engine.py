@@ -45,7 +45,7 @@ from repro.errors import FlowStageError, ReproError
 from repro.flows.run import METHODS, prepare_circuit, run_flow
 from repro.netlist.netlist import Netlist
 from repro.scenarios.injectors import build_injection_plan
-from repro.sim import SIM_BACKENDS, estimate_error_rate
+from repro.sim import SIM_BACKENDS, estimate_error_rate_batched
 from repro.store import (
     ArtifactStore,
     atomic_write_text,
@@ -118,16 +118,26 @@ DEFAULT_POLICIES: Tuple[str, ...] = ("grar", "selective")
 
 
 def scenario_seed(
-    base_seed: int, circuit: str, corner: str, upset: str, policy: str
+    base_seed: int,
+    circuit: str,
+    corner: str,
+    upset: str,
+    policy: str,
+    lane: int = 0,
 ) -> int:
     """The derived per-scenario seed.
 
     One CLI ``--seed`` fans out to every scenario through a hash of
     the scenario's identity, so (a) two identical invocations are
     byte-identical and (b) no two scenarios share vector/injection
-    streams by accident.
+    streams by accident.  ``lane`` indexes the Monte-Carlo seed within
+    a multi-seed scenario; lane 0 hashes the legacy text so existing
+    memos and reports keep their seeds.
     """
-    text = "\x1f".join([str(base_seed), circuit, corner, upset, policy])
+    fields = [str(base_seed), circuit, corner, upset, policy]
+    if lane:
+        fields.append(str(lane))
+    text = "\x1f".join(fields)
     return int(content_digest(text, 8), 16)
 
 
@@ -146,6 +156,9 @@ class ScenarioTask:
     cycles: int
     seed: int
     sim_backend: str = "compiled"
+    #: the full Monte-Carlo seed sweep; empty means ``(seed,)``.
+    #: ``seeds[0]`` is always the legacy lane-0 ``seed``.
+    seeds: Tuple[int, ...] = ()
     guard: Optional[str] = None
     harden_fraction: float = 0.5
     #: how long a chaos-hang corner sleeps (tests shorten it).
@@ -203,23 +216,35 @@ def run_scenario(task: ScenarioTask) -> Dict[str, Any]:
         placement=outcome.retiming.placement,
         label=f"{corner.name}/{task.upset.name}",
     )
-    report = estimate_error_rate(
+    seeds = task.seeds or (task.seed,)
+    # One compile shared across the whole seed sweep; each report is
+    # comparison-identical to a per-seed estimate_error_rate call.
+    reports = estimate_error_rate_batched(
         outcome.circuit,
         outcome.retiming.placement,
         outcome.edl_endpoints,
         cycles=task.cycles,
-        seed=task.seed,
+        seeds=seeds,
         backend=task.sim_backend,
         injection=plan,
     )
-    state_blob = json.dumps(
-        [
-            sorted(report.final_flop_state.items()),
-            sorted(report.final_latch_state.items()),
-        ],
-        separators=(",", ":"),
-    )
-    return {
+    if len(reports) == 1:
+        # Legacy single-seed blob shape, so existing state digests in
+        # memos stay valid.
+        states: Any = [
+            sorted(reports[0].final_flop_state.items()),
+            sorted(reports[0].final_latch_state.items()),
+        ]
+    else:
+        states = [
+            [
+                sorted(r.final_flop_state.items()),
+                sorted(r.final_latch_state.items()),
+            ]
+            for r in reports
+        ]
+    state_blob = json.dumps(states, separators=(",", ":"))
+    entry = {
         "circuit": task.circuit,
         "corner": corner.name,
         "upset": task.upset.name,
@@ -227,15 +252,21 @@ def run_scenario(task: ScenarioTask) -> Dict[str, Any]:
         "status": "ok",
         "seed": task.seed,
         "cycles": task.cycles,
-        "error_cycles": report.error_cycles,
-        "error_rate": report.error_rate,
-        "non_edl_violations": report.non_edl_violations,
+        "error_cycles": sum(r.error_cycles for r in reports),
+        "error_rate": sum(r.error_rate for r in reports) / len(reports),
+        "non_edl_violations": sum(
+            r.non_edl_violations for r in reports
+        ),
         "n_edl": outcome.n_edl,
         "n_slaves": outcome.n_slaves,
         "total_area": outcome.total_area,
         "injected": plan.counts(),
         "state_digest": content_digest(state_blob, 16),
     }
+    if len(seeds) > 1:
+        entry["seeds"] = list(seeds)
+        entry["per_seed_error_rates"] = [r.error_rate for r in reports]
+    return entry
 
 
 def _failed_entry(
@@ -312,14 +343,20 @@ def _memo_config(
     cycles: int,
     sim_backend: str,
     harden_fraction: float,
+    n_seeds: int = 1,
 ) -> Dict[str, Any]:
-    return {
+    config = {
         "seed": seed,
         "overhead": overhead,
         "cycles": cycles,
         "sim_backend": sim_backend,
         "harden_fraction": harden_fraction,
     }
+    # Only multi-seed sweeps stamp the key: single-seed runs keep
+    # their pre-existing memo fingerprints (and resumable memos).
+    if n_seeds > 1:
+        config["n_seeds"] = n_seeds
+    return config
 
 
 def _load_memo(
@@ -399,6 +436,7 @@ def run_scenarios(
     overhead: float = 1.0,
     cycles: int = 96,
     seed: int = 2017,
+    n_seeds: int = 1,
     sim_backend: str = "compiled",
     guard: Optional[str] = None,
     jobs: int = 1,
@@ -418,6 +456,11 @@ def run_scenarios(
     ``memo_path``, completed scenarios are checkpointed as they land
     and skipped on re-runs (``retry_failed`` re-attempts FAILED ones).
 
+    ``n_seeds`` widens each scenario into a Monte-Carlo sweep over
+    derived seeds sharing one simulator compile (lane 0 is the legacy
+    per-scenario seed, so single-seed memos stay valid); entries then
+    carry the mean ``error_rate`` plus per-seed rates.
+
     ``store`` attaches an artifact store: workers run their flows
     under it (compiled problems and arenas shared across the matrix
     and across invocations), and a *persistent* store additionally
@@ -431,6 +474,8 @@ def run_scenarios(
             f"unknown simulation backend {sim_backend!r}; "
             f"expected one of {SIM_BACKENDS}"
         )
+    if n_seeds < 1:
+        raise ValueError(f"n_seeds must be >= 1, got {n_seeds}")
     for name, known, label in (
         (corners, CORNERS, "corner"),
         (upsets, UPSETS, "upset model"),
@@ -453,7 +498,7 @@ def run_scenarios(
         pairs = list(circuits)
 
     config = _memo_config(
-        seed, overhead, cycles, sim_backend, harden_fraction
+        seed, overhead, cycles, sim_backend, harden_fraction, n_seeds
     )
     store_obj = open_store(store)
     store_dir = (
@@ -508,6 +553,13 @@ def run_scenarios(
                     ):
                         metrics.count("scenarios.memo_hits")
                         continue
+                    lane_seeds = tuple(
+                        scenario_seed(
+                            seed, circuit_name, corner_name,
+                            upset_name, policy, lane=lane,
+                        )
+                        for lane in range(n_seeds)
+                    )
                     tasks.append(
                         ScenarioTask(
                             circuit=circuit_name,
@@ -519,10 +571,8 @@ def run_scenarios(
                             library=library,
                             overhead=overhead,
                             cycles=cycles,
-                            seed=scenario_seed(
-                                seed, circuit_name, corner_name,
-                                upset_name, policy,
-                            ),
+                            seed=lane_seeds[0],
+                            seeds=lane_seeds,
                             sim_backend=sim_backend,
                             guard=guard,
                             harden_fraction=harden_fraction,

@@ -23,6 +23,7 @@ from repro.sim.errorrate import (
     estimate_error_rate,
 )
 from repro.sim.batch import estimate_error_rate_batched
+from repro.sim.vector import estimate_error_rate_vector
 from repro.sim.vcd import vcd_text, write_vcd
 
 __all__ = [
@@ -37,6 +38,7 @@ __all__ = [
     "ErrorRateReport",
     "estimate_error_rate",
     "estimate_error_rate_batched",
+    "estimate_error_rate_vector",
     "vcd_text",
     "write_vcd",
 ]

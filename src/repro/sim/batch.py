@@ -58,6 +58,19 @@ def estimate_error_rate_batched(
     not meaningful.
     """
     plan = injection or InjectionPlan()
+    if backend == "vector":
+        from repro.sim.vector import estimate_error_rate_vector
+
+        return estimate_error_rate_vector(
+            circuit,
+            placement,
+            edl_endpoints,
+            cycles=cycles,
+            seeds=seeds,
+            toggle_probability=toggle_probability,
+            max_events_per_net=max_events_per_net,
+            injection=injection,
+        )
     loop = _CycleLoop(
         circuit, placement, edl_endpoints, plan, backend, max_events_per_net
     )

@@ -14,7 +14,11 @@ Two interchangeable backends evaluate the cycles:
 * ``"compiled"`` (default) — :class:`~repro.sim.kernel.CompiledSimulator`,
   which compiles the cycle-invariant work once and is bit-identical to
   the event backend (the parity test in
-  ``tests/test_sim_regressions.py`` is the acceptance gate).
+  ``tests/test_sim_regressions.py`` is the acceptance gate);
+* ``"vector"`` — :mod:`repro.sim.vector`, which reuses the compiled
+  schedule but makes the Monte-Carlo seed axis a NumPy array
+  dimension, advancing every seed per pass (bit-identical per-seed
+  reports; single-seed calls run as one lane).
 """
 
 from __future__ import annotations
@@ -34,7 +38,7 @@ from repro.sim.logicsim import MAX_EVENTS_PER_NET, TimedSimulator
 from repro.sim.vectors import VectorSource
 
 #: Valid values of the ``backend`` switch.
-SIM_BACKENDS = ("event", "compiled")
+SIM_BACKENDS = ("event", "compiled", "vector")
 
 
 @dataclass
@@ -53,11 +57,13 @@ class ErrorRateReport:
     #: latch/source state after the last cycle (``src:`` and
     #: ``latch:`` keys, as the simulator maintains them).
     final_latch_state: Dict[str, int] = field(default_factory=dict)
-    #: which backend produced the report (not part of equality: both
+    #: which backend produced the report (not part of equality: all
     #: backends must produce comparison-identical reports).
     backend: str = field(default="event", compare=False)
     #: simulation throughput, for bench artifacts (not compared).
-    cycles_per_sec: float = field(default=0.0, compare=False)
+    #: ``None`` means unmeasured — a run too fast for the wall clock
+    #: to resolve stays ``None`` instead of masquerading as 0.0.
+    cycles_per_sec: Optional[float] = field(default=None, compare=False)
 
     @property
     def error_rate(self) -> float:
@@ -148,6 +154,12 @@ class _CycleLoop:
             raise ValueError(
                 f"unknown simulation backend {backend!r}; "
                 f"expected one of {SIM_BACKENDS}"
+            )
+        if backend == "vector":
+            raise ValueError(
+                "_CycleLoop drives the per-lane dict backends; the "
+                "vector backend advances all lanes at once — callers "
+                "dispatch to repro.sim.vector before building the loop"
             )
         netlist = circuit.netlist
         _check_plan_targets(netlist, plan, placement)
@@ -290,6 +302,19 @@ def estimate_error_rate(
     contract extends to injected runs).
     """
     plan = injection or InjectionPlan()
+    if backend == "vector":
+        from repro.sim.vector import estimate_error_rate_vector
+
+        return estimate_error_rate_vector(
+            circuit,
+            placement,
+            edl_endpoints,
+            cycles=cycles,
+            seeds=(seed,),
+            toggle_probability=toggle_probability,
+            max_events_per_net=max_events_per_net,
+            injection=injection,
+        )[0]
     loop = _CycleLoop(
         circuit, placement, edl_endpoints, plan, backend, max_events_per_net
     )

@@ -1,0 +1,243 @@
+"""Cross-backend parity suite for the lane-vectorized simulator.
+
+``repro.sim.vector`` promises comparison-identical
+:class:`~repro.sim.errorrate.ErrorRateReport` objects against the
+event and compiled backends for every seed — including final
+flop/latch state, under injection plans, at any lane count, and on
+both the compiled C gate stage and its pure-NumPy fallback.  These
+tests are that promise's acceptance gate: random circuits ×
+placements × injection plans × lane counts (a single lane and a
+ragged final batch included) against the event-backend oracle.
+"""
+
+import functools
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.cells import default_library
+from repro.circuits.generator import CloudSpec, generate_circuit
+from repro.errors import SimulationError
+from repro.flows import prepare_circuit
+from repro.latches import SlavePlacement
+from repro.retime import grar_retime
+from repro.scenarios.injectors import build_injection_plan
+from repro.sim import (
+    SIM_BACKENDS,
+    ErrorRateReport,
+    estimate_error_rate,
+    estimate_error_rate_batched,
+    estimate_error_rate_vector,
+)
+from repro.sim import _native
+
+LIBRARY = default_library()
+CYCLES = 12
+
+SLOW = settings(
+    max_examples=6,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@functools.lru_cache(maxsize=32)
+def make_case(seed, retimed=False):
+    """A small random FSM cloud plus a placement and EDL set."""
+    spec = CloudSpec(
+        name=f"vec{seed}",
+        seed=seed,
+        n_inputs=4,
+        n_outputs=3,
+        n_flops=6,
+        n_gates=60,
+        depth=5,
+        critical_fraction=0.3,
+    )
+    netlist = generate_circuit(spec, LIBRARY)
+    scheme, circuit = prepare_circuit(netlist, LIBRARY)
+    if retimed:
+        placement = grar_retime(circuit, overhead=1.0).placement
+    else:
+        placement = SlavePlacement.initial()
+    edl = frozenset(g.name for g in circuit.netlist.endpoints())
+    return circuit, scheme, placement, edl
+
+
+def event_reports(circuit, placement, edl, seeds, injection=None):
+    """The oracle: one sequential event-backend run per seed."""
+    return [
+        estimate_error_rate(
+            circuit,
+            placement,
+            set(edl),
+            cycles=CYCLES,
+            seed=s,
+            backend="event",
+            injection=injection,
+        )
+        for s in seeds
+    ]
+
+
+def make_plan(circuit, scheme, placement, seed):
+    return build_injection_plan(
+        circuit.netlist,
+        scheme,
+        cycles=CYCLES,
+        seed=seed,
+        sigma=0.03,
+        seu_rate=0.2,
+        glitch_rate=0.2,
+        placement=placement,
+    )
+
+
+class TestVectorParity:
+    @given(
+        st.integers(min_value=1, max_value=10**6),
+        st.booleans(),
+        st.sampled_from([1, 2, 5]),
+        st.booleans(),
+    )
+    @SLOW
+    def test_matches_event_backend(self, seed, retimed, lanes, inject):
+        """Random circuit × placement × plan × lane count == event."""
+        circuit, scheme, placement, edl = make_case(seed % 40, retimed)
+        seeds = tuple(seed + 31 * k for k in range(lanes))
+        plan = (
+            make_plan(circuit, scheme, placement, seed) if inject else None
+        )
+        vec = estimate_error_rate_vector(
+            circuit,
+            placement,
+            set(edl),
+            cycles=CYCLES,
+            seeds=seeds,
+            injection=plan,
+        )
+        assert vec == event_reports(
+            circuit, placement, edl, seeds, injection=plan
+        )
+
+    def test_ragged_final_batch(self):
+        """lane_block=4 over 6 seeds: a full block plus a ragged tail."""
+        circuit, _, placement, edl = make_case(3)
+        seeds = tuple(100 + k for k in range(6))
+        vec = estimate_error_rate_vector(
+            circuit,
+            placement,
+            set(edl),
+            cycles=CYCLES,
+            seeds=seeds,
+            lane_block=4,
+        )
+        assert len(vec) == len(seeds)
+        assert all(r.backend == "vector" for r in vec)
+        assert vec == event_reports(circuit, placement, edl, seeds)
+
+    def test_numpy_fallback_matches_event(self, monkeypatch):
+        """With the native helper disabled the pure-NumPy gate stage
+        must produce the same reports (plain and injected)."""
+        monkeypatch.setattr(_native, "_lib", None)
+        circuit, scheme, placement, edl = make_case(5, retimed=True)
+        seeds = (11, 12, 13)
+        plan = make_plan(circuit, scheme, placement, 5)
+        for injection in (None, plan):
+            vec = estimate_error_rate_vector(
+                circuit,
+                placement,
+                set(edl),
+                cycles=CYCLES,
+                seeds=seeds,
+                injection=injection,
+            )
+            assert vec == event_reports(
+                circuit, placement, edl, seeds, injection=injection
+            )
+
+    def test_native_env_switch(self, monkeypatch):
+        """REPRO_VECTOR_NATIVE=0 forces the fallback at load time."""
+        monkeypatch.setattr(_native, "_lib", _native._UNSET)
+        monkeypatch.setenv("REPRO_VECTOR_NATIVE", "0")
+        assert _native.load() is None
+
+    def test_event_cap_overflow_parity(self):
+        """A too-small event cap raises the same typed error as the
+        compiled backend (same gate and count on a single lane)."""
+        circuit, _, placement, edl = make_case(7)
+        with pytest.raises(SimulationError) as compiled_exc:
+            estimate_error_rate(
+                circuit,
+                placement,
+                set(edl),
+                cycles=CYCLES,
+                seed=42,
+                backend="compiled",
+                max_events_per_net=1,
+            )
+        with pytest.raises(SimulationError) as vector_exc:
+            estimate_error_rate_vector(
+                circuit,
+                placement,
+                set(edl),
+                cycles=CYCLES,
+                seeds=(42,),
+                max_events_per_net=1,
+            )
+        assert str(vector_exc.value) == str(compiled_exc.value)
+
+
+class TestVectorDispatch:
+    def test_sim_backends_contents(self):
+        assert SIM_BACKENDS == ("event", "compiled", "vector")
+
+    def test_estimate_error_rate_vector_backend(self):
+        """Single-seed ``backend='vector'`` dispatch == compiled."""
+        circuit, _, placement, edl = make_case(9)
+        compiled = estimate_error_rate(
+            circuit, placement, set(edl), cycles=CYCLES, seed=77
+        )
+        vec = estimate_error_rate(
+            circuit,
+            placement,
+            set(edl),
+            cycles=CYCLES,
+            seed=77,
+            backend="vector",
+        )
+        assert vec == compiled
+
+    def test_batched_vector_backend(self):
+        """``estimate_error_rate_batched(backend='vector')`` returns
+        the same reports as the batched compiled backend."""
+        circuit, _, placement, edl = make_case(9)
+        seeds = (5, 6, 7)
+        compiled = estimate_error_rate_batched(
+            circuit, placement, set(edl), cycles=CYCLES, seeds=seeds
+        )
+        vec = estimate_error_rate_batched(
+            circuit,
+            placement,
+            set(edl),
+            cycles=CYCLES,
+            seeds=seeds,
+            backend="vector",
+        )
+        assert vec == compiled
+
+    def test_cycles_per_sec_none_semantics(self):
+        """``None`` means unmeasured and never affects comparison."""
+        assert ErrorRateReport.__dataclass_fields__[
+            "cycles_per_sec"
+        ].compare is False
+        circuit, _, placement, edl = make_case(9)
+        report = estimate_error_rate(
+            circuit, placement, set(edl), cycles=CYCLES, seed=3
+        )
+        twin = estimate_error_rate(
+            circuit, placement, set(edl), cycles=CYCLES, seed=3
+        )
+        report.cycles_per_sec = None
+        twin.cycles_per_sec = 123.0
+        assert report == twin
